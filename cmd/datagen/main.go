@@ -1,0 +1,53 @@
+// Command datagen writes synthetic and stand-in datasets as CSV, for use
+// with cmd/rrq or external tools.
+//
+// Usage:
+//
+//	datagen -type Indep -n 10000 -d 4 -seed 1 -o indep.csv
+//	datagen -real NBA -o nba.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rrq/internal/dataset"
+)
+
+func main() {
+	var (
+		typStr  = flag.String("type", "Indep", "synthetic distribution: Indep|Cor|Anti")
+		realStr = flag.String("real", "", "real-dataset stand-in: Island|Weather|Car|NBA (overrides -type)")
+		n       = flag.Int("n", 10000, "number of points (synthetic) or cap (real; 0 = full size)")
+		d       = flag.Int("d", 4, "dimensions (synthetic only)")
+		seed    = flag.Int64("seed", 1, "generator seed (synthetic only)")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatal(err)
+		defer f.Close()
+		w = f
+	}
+
+	if *realStr != "" {
+		pts, err := dataset.Real(dataset.RealName(*realStr), *n)
+		fatal(err)
+		fatal(dataset.WriteCSV(w, pts))
+		return
+	}
+	typ, err := dataset.ParseType(*typStr)
+	fatal(err)
+	fatal(dataset.WriteCSV(w, dataset.Generate(typ, *n, *d, *seed)))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}

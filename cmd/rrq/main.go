@@ -1,0 +1,165 @@
+// Command rrq answers a reverse regret query over a CSV dataset.
+//
+// The CSV must have one header line and one numeric row per product. The
+// query product is given as comma-separated attribute values. Output lists
+// the qualified partitions, the preference-space share they cover, and a
+// few example qualified utility vectors.
+//
+// Usage:
+//
+//	rrq -data cars.csv -q 0.45,0.2 -k 10 -eps 0.1
+//	rrq -data cars.csv -q 0.45,0.2 -k 10 -eps 0.1 -algo apc -samples 200
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rrq/internal/dataset"
+
+	"rrq"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "CSV dataset path (header + numeric rows)")
+		qStr     = flag.String("q", "", "query product, e.g. 0.45,0.2")
+		k        = flag.Int("k", 1, "rank relaxation k")
+		eps      = flag.Float64("eps", 0.1, "regret threshold ε")
+		algoStr  = flag.String("algo", "auto", "auto|sweeping|ept|apc|lpcta|brute")
+		samples  = flag.Int("samples", 0, "A-PC sample count (0 = paper default)")
+		skyband  = flag.Bool("skyband", true, "preprocess to the k-skyband")
+		measureN = flag.Int("measure", 50000, "Monte-Carlo samples for the share estimate")
+		asJSON   = flag.Bool("json", false, "emit the region as JSON instead of text")
+		profile  = flag.Bool("profile", false, "print the market-share curve over ε instead of solving one query")
+	)
+	flag.Parse()
+
+	if *dataPath == "" || *qStr == "" {
+		fmt.Fprintln(os.Stderr, "rrq: -data and -q are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*dataPath)
+	fatal(err)
+	pts, err := dataset.ReadCSV(f)
+	f.Close()
+	fatal(err)
+	if len(pts) == 0 {
+		fatal(fmt.Errorf("no data rows in %s", *dataPath))
+	}
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	ds, err := rrq.NewDataset(raw)
+	fatal(err)
+	ds = ds.Normalize()
+	if *skyband {
+		ds = ds.KSkyband(*k)
+	}
+
+	q, err := parsePoint(*qStr)
+	fatal(err)
+
+	algo, err := parseAlgo(*algoStr)
+	fatal(err)
+
+	if *profile {
+		sp, err := rrq.NewShareProfile(ds, q, *k, 20000, 1)
+		fatal(err)
+		fmt.Printf("market-share curve for q=%v at k=%d (20000 preference samples)\n", q, *k)
+		for _, eps := range []float64{0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3} {
+			fmt.Printf("  eps=%.2f  share=%6.2f%%\n", eps, 100*sp.Share(eps))
+		}
+		for _, target := range []float64{0.25, 0.5, 0.75} {
+			fmt.Printf("  share %.0f%% needs eps >= %.4f\n", 100*target, sp.EpsForShare(target))
+		}
+		return
+	}
+
+	opts := []rrq.Option{rrq.WithAlgorithm(algo)}
+	if *samples > 0 {
+		opts = append(opts, rrq.WithSamples(*samples))
+	}
+	region, err := rrq.Solve(ds, rrq.Query{Q: q, K: *k, Epsilon: *eps}, opts...)
+	fatal(err)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(region))
+		return
+	}
+
+	fmt.Printf("dataset: %d products (after preprocessing), %d attributes\n", ds.Len(), ds.Dim())
+	fmt.Printf("query:   q=%v  k=%d  eps=%.3f  algo=%v\n", q, *k, *eps, algo)
+	if region.IsEmpty() {
+		fmt.Println("result:  no prospective customers — q never scores within ε of the top-k")
+		return
+	}
+	share := region.Measure(*measureN)
+	fmt.Printf("result:  %d qualified partition(s) covering %.2f%% of the preference space\n",
+		region.NumPartitions(), 100*share)
+	if ds.Dim() == 2 {
+		for _, iv := range region.Intervals2D() {
+			fmt.Printf("  preference weight on attr1 in [%.4f, %.4f]\n", iv[0], iv[1])
+		}
+	}
+	for i := int64(0); i < 3; i++ {
+		if u := region.Sample(i + 1); u != nil {
+			fmt.Printf("  example qualified preference: %v\n", fmtVec(u))
+		}
+	}
+}
+
+func parsePoint(s string) (rrq.Point, error) {
+	parts := strings.Split(s, ",")
+	p := make(rrq.Point, len(parts))
+	for i, f := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad query component %q: %w", f, err)
+		}
+		p[i] = x
+	}
+	return p, nil
+}
+
+func parseAlgo(s string) (rrq.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return rrq.Auto, nil
+	case "sweeping":
+		return rrq.SweepingAlgo, nil
+	case "ept":
+		return rrq.EPTAlgo, nil
+	case "apc":
+		return rrq.APCAlgo, nil
+	case "lpcta":
+		return rrq.LPCTAAlgo, nil
+	case "brute":
+		return rrq.BruteForceAlgo, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func fmtVec(u rrq.Vector) string {
+	parts := make([]string, len(u))
+	for i, x := range u {
+		parts[i] = strconv.FormatFloat(x, 'f', 4, 64)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrq:", err)
+		os.Exit(1)
+	}
+}

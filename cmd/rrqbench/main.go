@@ -1,0 +1,96 @@
+// Command rrqbench regenerates the paper's evaluation figures (Figures
+// 7–17) as printed tables. By default every experiment runs at quick scale;
+// -full switches to the paper's parameters.
+//
+// Usage:
+//
+//	rrqbench                 # run everything, quick scale
+//	rrqbench -exp fig10a     # one experiment
+//	rrqbench -exp fig9a,fig9b -full
+//	rrqbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rrq/internal/expt"
+)
+
+// summaryReference picks the proposed algorithm to normalize speedups to:
+// Sweeping when present, otherwise E-PT.
+func summaryReference(t *expt.Table) string {
+	for _, r := range t.Rows {
+		for _, c := range r.Cells {
+			if c.Algo == "Sweeping" {
+				return "Sweeping"
+			}
+		}
+	}
+	return "E-PT"
+}
+
+// writeCSV writes one table as <dir>/<table-id>.csv, creating dir.
+func writeCSV(dir string, t *expt.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+func main() {
+	var (
+		exps    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		full    = flag.Bool("full", false, "use the paper's full-scale parameters")
+		seed    = flag.Int64("seed", 0, "override the experiment seed (0 = default)")
+		repeats = flag.Int("repeats", 0, "query points averaged per cell (0 = default)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir  = flag.String("csv", "", "also write each table as <dir>/<table-id>.csv")
+		budget  = flag.Duration("budget", 0, "per-cell wall-clock budget (0 = default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range expt.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	sc := expt.Scale{Full: *full, Seed: *seed, Repeats: *repeats, CellBudget: *budget}
+	ids := expt.IDs()
+	if *exps != "all" {
+		ids = strings.Split(*exps, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := expt.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rrqbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables := runner(sc)
+		for _, t := range tables {
+			t.Print(os.Stdout)
+			expt.PrintSummary(os.Stdout, t, summaryReference(t))
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, t); err != nil {
+					fmt.Fprintln(os.Stderr, "rrqbench:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,67 @@
+package rrq_test
+
+import (
+	"fmt"
+
+	"rrq"
+)
+
+// The running example of the paper (Table 3 / Example 3.3): find every
+// customer preference under which q = (0.4, 0.7) is a (2, 0.1)-regret
+// point.
+func ExampleSolve() {
+	ds, _ := rrq.NewDataset([][]float64{
+		{0.20, 0.92},
+		{0.70, 0.54},
+		{0.60, 0.30},
+	})
+	region, _ := rrq.Solve(ds, rrq.Query{Q: rrq.Point{0.4, 0.7}, K: 2, Epsilon: 0.1})
+	fmt.Println(region.Contains(rrq.Vector{0.5, 0.5}))
+	fmt.Printf("%.3f\n", rrq.RegretRatio(ds, rrq.Point{0.4, 0.7}, 2, rrq.Vector{0.5, 0.5}))
+	// Output:
+	// true
+	// 0.018
+}
+
+// Reverse top-k misses score-close products that the reverse regret query
+// keeps — the paper's Table 1 car market.
+func ExampleReverseTopK() {
+	cars, _ := rrq.NewDataset([][]float64{
+		{4.3, 5.0},
+		{4.5, 4.0},
+		{5.0, 1.0},
+	})
+	q := rrq.Point{4.5, 2.0}
+	u1 := rrq.Vector{0.9, 0.1} // a horsepower-focused customer
+
+	rankBased, _ := rrq.ReverseTopK(cars, q, 3)
+	scoreBased, _ := rrq.Solve(cars, rrq.Query{Q: q, K: 1, Epsilon: 0.1})
+	fmt.Println(rankBased.Contains(u1), scoreBased.Contains(u1))
+	// Output:
+	// false true
+}
+
+// A k-skyband prune shrinks the market without changing any reverse query
+// answer.
+func ExampleDataset_KSkyband() {
+	ds := rrq.SyntheticDataset(rrq.Independent, 1000, 3, 7)
+	pruned := ds.KSkyband(5)
+	fmt.Println(ds.Len(), pruned.Len() < ds.Len())
+	// Output:
+	// 1000 true
+}
+
+// Maintaining an answer while the market changes (the paper's future work).
+func ExampleDynamicRegion() {
+	ds, _ := rrq.NewDataset([][]float64{
+		{0.8, 0.3},
+		{0.3, 0.8},
+	})
+	dyn, _ := rrq.NewDynamicRegion(ds, rrq.Query{Q: rrq.Point{0.6, 0.6}, K: 1, Epsilon: 0.1})
+	before := dyn.Region().Measure(0) // exact for 2-d regions
+	_ = dyn.Insert(rrq.Point{0.9, 0.9})
+	after := dyn.Region().Measure(0)
+	fmt.Println(before > 0, after < before)
+	// Output:
+	// true true
+}

@@ -1,0 +1,76 @@
+// Compare runs every solver — Sweeping (2-d), E-PT, A-PC, LP-CTA and the
+// PBA+ index — on the same queries, verifying that they agree and showing
+// their relative cost, a miniature of the paper's §6.3 comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rrq"
+)
+
+func main() {
+	fmt.Println("--- 2-dimensional market (Island stand-in) ---")
+	run2D()
+	fmt.Println()
+	fmt.Println("--- 4-dimensional market (Indep synthetic) ---")
+	run4D()
+}
+
+func run2D() {
+	ds, err := rrq.RealDataset("Island", 20000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := rrq.Query{Q: ds.RandomQuery(7), K: 10, Epsilon: 0.1}
+	market := ds.KSkyband(q.K)
+	fmt.Printf("market %d points (skyband of %d), q=%v\n", market.Len(), ds.Len(), q.Q)
+
+	for _, algo := range []rrq.Algorithm{rrq.SweepingAlgo, rrq.EPTAlgo, rrq.APCAlgo, rrq.LPCTAAlgo} {
+		start := time.Now()
+		region, err := rrq.Solve(market, q, rrq.WithAlgorithm(algo), rrq.WithSamples(50))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10v %8.3fms  share=%6.2f%%  partitions=%d\n",
+			algo, float64(time.Since(start).Microseconds())/1000,
+			100*region.Measure(30000), region.NumPartitions())
+	}
+}
+
+func run4D() {
+	ds := rrq.SyntheticDataset(rrq.Independent, 50000, 4, 11)
+	q := rrq.Query{Q: ds.RandomQuery(3), K: 5, Epsilon: 0.1}
+	market := ds.KSkyband(q.K)
+	fmt.Printf("market %d points (skyband of %d)\n", market.Len(), ds.Len())
+
+	for _, algo := range []rrq.Algorithm{rrq.EPTAlgo, rrq.APCAlgo, rrq.LPCTAAlgo} {
+		start := time.Now()
+		region, err := rrq.Solve(market, q, rrq.WithAlgorithm(algo), rrq.WithSamples(100))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10v %8.3fms  share=%6.2f%%  partitions=%d\n",
+			algo, float64(time.Since(start).Microseconds())/1000,
+			100*region.Measure(30000), region.NumPartitions())
+	}
+
+	// PBA+ amortizes an expensive index across queries.
+	start := time.Now()
+	ix, err := rrq.BuildPBAIndex(market, q.K, 300000)
+	if err != nil {
+		fmt.Printf("  %-10s preprocessing exceeded budget (%v) — exactly the paper's story\n", "PBA+", err)
+		return
+	}
+	prep := time.Since(start)
+	start = time.Now()
+	region, err := ix.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-10s %8.3fms  share=%6.2f%%  (index build %v)\n",
+		"PBA+", float64(time.Since(start).Microseconds())/1000,
+		100*region.Measure(30000), prep.Round(time.Millisecond))
+}

@@ -1,0 +1,3 @@
+module rrq
+
+go 1.22

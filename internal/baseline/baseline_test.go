@@ -1,0 +1,213 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rrq/internal/core"
+	"rrq/internal/vec"
+)
+
+func randomInstance(rng *rand.Rand, n, d int) ([]vec.Vec, core.Query) {
+	pts := make([]vec.Vec, n)
+	for i := range pts {
+		p := vec.New(d)
+		for j := range p {
+			p[j] = 0.01 + 0.99*rng.Float64()
+		}
+		pts[i] = p
+	}
+	q := core.Query{
+		Q:   pts[rng.Intn(n)].Clone(),
+		K:   1 + rng.Intn(4),
+		Eps: rng.Float64() * 0.2,
+	}
+	for j := range q.Q {
+		q.Q[j] = math.Min(1, math.Max(0.01, q.Q[j]+(rng.Float64()-0.5)*0.2))
+	}
+	return pts, q
+}
+
+const boundaryMargin = 1e-7
+
+// agree verifies two regions classify random utility vectors identically,
+// skipping numerically boundary-sitting vectors.
+func agree(t *testing.T, a, b *core.Region, pts []vec.Vec, q core.Query, rng *rand.Rand, samples int, label string) {
+	t.Helper()
+	for i := 0; i < samples; i++ {
+		u := vec.RandSimplex(rng, q.Q.Dim())
+		_, margin := core.CountBetter(pts, q, u)
+		if margin < boundaryMargin {
+			continue
+		}
+		if a.Contains(u) != b.Contains(u) {
+			t.Fatalf("%s: disagreement at %v (a=%v b=%v, k=%d ε=%.3f)",
+				label, u, a.Contains(u), b.Contains(u), q.K, q.Eps)
+		}
+	}
+}
+
+func TestLPCTAMatchesEPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, d := range []int{2, 3, 4} {
+		for trial := 0; trial < 12; trial++ {
+			pts, q := randomInstance(rng, 8+rng.Intn(20), d)
+			want, err := core.EPT(pts, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := LPCTA(pts, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agree(t, got, want, pts, q, rng, 200, "LP-CTA vs E-PT")
+		}
+	}
+}
+
+func TestLPCTAStatsCountLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts, q := randomInstance(rng, 30, 3)
+	_, st, err := LPCTAWithStats(pts, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LPSolves == 0 && st.Nodes <= 1 {
+		t.Skip("degenerate instance with no crossing planes")
+	}
+	if st.LPSolves%2 != 0 {
+		t.Fatalf("LP solves should come in min/max pairs: %+v", st)
+	}
+}
+
+func TestLPCTAInvalidQuery(t *testing.T) {
+	pts := []vec.Vec{vec.Of(0.5, 0.5)}
+	if _, err := LPCTA(pts, core.Query{Q: vec.Of(0.5, 0.5), K: 0, Eps: 0.1}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := LPCTA([]vec.Vec{vec.Of(0.5, 0.5, 0.5)}, core.Query{Q: vec.Of(0.5, 0.5), K: 1, Eps: 0.1}); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+}
+
+func TestPBAMatchesEPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, d := range []int{2, 3} {
+		for trial := 0; trial < 10; trial++ {
+			pts, q := randomInstance(rng, 8+rng.Intn(12), d)
+			ix, err := BuildPBA(pts, q.K, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ix.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.EPT(pts, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agree(t, got, want, pts, q, rng, 200, "PBA+ vs E-PT")
+		}
+	}
+}
+
+func TestPBAReusableAcrossQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	pts, _ := randomInstance(rng, 15, 3)
+	ix, err := BuildPBA(pts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same index answers different (q, k ≤ kmax, ε) queries.
+	for trial := 0; trial < 5; trial++ {
+		q := core.Query{
+			Q:   pts[rng.Intn(len(pts))].Clone(),
+			K:   1 + rng.Intn(3),
+			Eps: rng.Float64() * 0.15,
+		}
+		got, err := ix.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.EPT(pts, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agree(t, got, want, pts, q, rng, 150, "PBA+ reuse vs E-PT")
+	}
+}
+
+func TestPBAKExceedsIndex(t *testing.T) {
+	pts := []vec.Vec{vec.Of(0.5, 0.5), vec.Of(0.6, 0.4)}
+	ix, err := BuildPBA(pts, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Query(core.Query{Q: vec.Of(0.5, 0.5), K: 2, Eps: 0.1}); err == nil {
+		t.Fatal("k > kmax should error")
+	}
+}
+
+func TestPBAKExceedsN(t *testing.T) {
+	pts := []vec.Vec{vec.Of(0.5, 0.5), vec.Of(0.6, 0.4)}
+	ix, err := BuildPBA(pts, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := ix.Query(core.Query{Q: vec.Of(0.1, 0.1), K: 5, Eps: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		if !reg.Contains(vec.RandSimplex(rng, 2)) {
+			t.Fatal("k > n: everything should qualify")
+		}
+	}
+}
+
+func TestPBABudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	pts := make([]vec.Vec, 40)
+	for i := range pts {
+		pts[i] = vec.Of(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	_, err := BuildPBA(pts, 5, 10)
+	if !errors.Is(err, ErrPBABudget) {
+		t.Fatalf("err = %v, want ErrPBABudget", err)
+	}
+}
+
+func TestPBABuildValidation(t *testing.T) {
+	if _, err := BuildPBA(nil, 1, 0); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+	if _, err := BuildPBA([]vec.Vec{vec.Of(0.5, 0.5)}, 0, 0); err == nil {
+		t.Fatal("kmax=0 should error")
+	}
+	if _, err := BuildPBA([]vec.Vec{vec.Of(0.5)}, 1, 0); err == nil {
+		t.Fatal("d=1 should error")
+	}
+}
+
+func TestPBADuplicatePoints(t *testing.T) {
+	p := vec.Of(0.7, 0.4)
+	pts := []vec.Vec{p, p.Clone(), vec.Of(0.3, 0.8), vec.Of(0.5, 0.5)}
+	q := core.Query{Q: vec.Of(0.55, 0.5), K: 2, Eps: 0.08}
+	ix, err := BuildPBA(pts, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.EPT(pts, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree(t, got, want, pts, q, rand.New(rand.NewSource(3)), 300, "PBA+ duplicates")
+}

@@ -1,0 +1,288 @@
+// Package baseline reimplements the two competitors the paper benchmarks
+// against, adapted to the reverse regret query exactly as §6.1 describes:
+//
+//   - LP-CTA (Tang et al., SIGMOD 2017): a cell-tree arrangement whose
+//     hyper-plane/partition relationship checks are performed by solving
+//     linear programs, with the paper's designed hyper-planes replaced by
+//     the RRQ hyper-planes h_{q,p}.
+//   - PBA+ (Zhang et al., SIGMOD 2022, T-LevelIndex): a preprocessed
+//     hierarchical rank-level index over the utility space; queries do a
+//     top-down search comparing the query point against each partition's
+//     ranked point.
+//
+// Both produce core.Region answers so the test suite can cross-validate
+// them against Sweeping/E-PT/A-PC.
+package baseline
+
+import (
+	"time"
+
+	"rrq/internal/core"
+	"rrq/internal/geom"
+	"rrq/internal/lp"
+	"rrq/internal/vec"
+)
+
+// LPCTAStats counts the work done by an LP-CTA run.
+type LPCTAStats struct {
+	LPSolves int
+	Nodes    int
+}
+
+// ctaNode is one node of the cell tree. Unlike the E-PT, cells are stored
+// purely as constraint lists — relationship checks go through the LP
+// solver, which is the cost profile the paper attributes to LP-CTA.
+type ctaNode struct {
+	normals  []vec.Vec
+	signs    []int
+	q        int
+	children []*ctaNode
+	invalid  bool
+}
+
+// LPCTA solves RRQ exactly with the adapted LP-CTA algorithm. It applies
+// the same hyper-plane preprocessing as the core solvers (planes that never
+// or always count are folded away) but none of E-PT's accelerations: no
+// hyper-plane reduction, no insertion ordering, no sphere tests and no lazy
+// splitting; every relationship check costs two LP solves.
+func LPCTA(pts []vec.Vec, q core.Query) (*core.Region, error) {
+	r, _, err := LPCTAWithStats(pts, q)
+	return r, err
+}
+
+// LPCTAWithStats is LPCTA plus work counters.
+func LPCTAWithStats(pts []vec.Vec, q core.Query) (*core.Region, LPCTAStats, error) {
+	return LPCTAWithDeadline(pts, q, time.Time{})
+}
+
+// LPCTAWithDeadline aborts with core.ErrDeadline once the deadline passes
+// (checked between hyper-plane insertions).
+func LPCTAWithDeadline(pts []vec.Vec, q core.Query, deadline time.Time) (*core.Region, LPCTAStats, error) {
+	var st LPCTAStats
+	d := q.Q.Dim()
+	if err := q.Validate(d); err != nil {
+		return nil, st, err
+	}
+	planes, base, err := queryPlanes(pts, q)
+	if err != nil {
+		return nil, st, err
+	}
+	k := q.K - base
+	if k <= 0 {
+		return core.EmptyRegion(d), st, nil
+	}
+
+	root := &ctaNode{}
+	st.Nodes++
+	ctx := &ctaCtx{k: k, d: d, st: &st, deadline: deadline}
+	for _, h := range planes {
+		ctaInsert(root, h, ctx)
+		if ctx.expired || (!deadline.IsZero() && time.Now().After(deadline)) {
+			return nil, st, core.ErrDeadline
+		}
+	}
+
+	var cells []*geom.Cell
+	ctaCollect(root, d, &cells)
+	if len(cells) == 0 {
+		return core.EmptyRegion(d), st, nil
+	}
+	return core.NewDisjointCellRegion(d, cells), st, nil
+}
+
+// ctaCtx carries the shared insertion state, including the deadline (an LP
+// per node visit is expensive, so the clock is sampled every 64 solves).
+type ctaCtx struct {
+	k, d     int
+	st       *LPCTAStats
+	deadline time.Time
+	expired  bool
+}
+
+func (c *ctaCtx) checkDeadline() bool {
+	if c.expired {
+		return true
+	}
+	if c.deadline.IsZero() {
+		return false
+	}
+	if c.st.LPSolves&0x3f == 0 && time.Now().After(c.deadline) {
+		c.expired = true
+	}
+	return c.expired
+}
+
+// ctaInsert inserts one hyper-plane top-down, checking relationships by LP.
+// The minimum of u·w over the cell is solved first; the maximum is only
+// needed when the minimum is negative.
+func ctaInsert(n *ctaNode, h geom.Hyperplane, ctx *ctaCtx) {
+	if n.invalid || ctx.checkDeadline() {
+		return
+	}
+	k, d, st := ctx.k, ctx.d, ctx.st
+	lo, hi, feasible := ctaRange(n, h, d, st)
+	if !feasible {
+		// Numerically collapsed cell: nothing to do.
+		n.invalid = true
+		return
+	}
+	switch {
+	case lo >= -lpTol:
+		// Cell inside the closed positive half-space: unaffected.
+	case hi <= lpTol:
+		// Cell inside the negative half-space.
+		ctaCoverNeg(n, k)
+	default:
+		if len(n.children) > 0 {
+			for _, c := range n.children {
+				ctaInsert(c, h, ctx)
+			}
+			return
+		}
+		neg := &ctaNode{
+			normals: appendVec(n.normals, h.Normal),
+			signs:   appendInt(n.signs, -1),
+			q:       n.q + 1,
+		}
+		pos := &ctaNode{
+			normals: appendVec(n.normals, h.Normal),
+			signs:   appendInt(n.signs, +1),
+			q:       n.q,
+		}
+		st.Nodes += 2
+		if neg.q >= k {
+			neg.invalid = true
+		}
+		n.children = []*ctaNode{neg, pos}
+	}
+}
+
+// ctaRange computes min (and, only when needed, max) of u·Normal over the
+// node's cell. hi is +Inf-like (lo+1 above the threshold) when the minimum
+// alone already classifies the cell as positive.
+func ctaRange(n *ctaNode, h geom.Hyperplane, d int, st *LPCTAStats) (lo, hi float64, feasible bool) {
+	minS, ok := ctaSolve(n, h, d, false, st)
+	if !ok {
+		return 0, 0, false
+	}
+	if minS >= -lpTol {
+		return minS, minS + 1, true
+	}
+	maxS, ok := ctaSolve(n, h, d, true, st)
+	if !ok {
+		return 0, 0, false
+	}
+	return minS, maxS, true
+}
+
+func ctaSolve(n *ctaNode, h geom.Hyperplane, d int, maximize bool, st *LPCTAStats) (float64, bool) {
+	st.LPSolves++
+	obj := h.Normal
+	aub := make([][]float64, 0, len(n.normals))
+	bub := make([]float64, 0, len(n.normals))
+	for j, w := range n.normals {
+		row := make([]float64, d)
+		for i, x := range w {
+			row[i] = -float64(n.signs[j]) * x
+		}
+		aub = append(aub, row)
+		bub = append(bub, 0)
+	}
+	ones := make([]float64, d)
+	for i := range ones {
+		ones[i] = 1
+	}
+	var s lp.Solution
+	if maximize {
+		s = lp.Maximize(obj, aub, bub, [][]float64{ones}, []float64{1})
+	} else {
+		s = lp.Minimize(obj, aub, bub, [][]float64{ones}, []float64{1})
+	}
+	if s.Status != lp.Optimal {
+		return 0, false
+	}
+	return s.Objective, true
+}
+
+func ctaCoverNeg(n *ctaNode, k int) {
+	if n.invalid {
+		return
+	}
+	n.q++
+	if n.q >= k {
+		n.invalid = true
+		return
+	}
+	for _, c := range n.children {
+		ctaCoverNeg(c, k)
+	}
+}
+
+// ctaCollect materializes the qualified leaves as geometric cells (the
+// output construction step of CTA).
+func ctaCollect(n *ctaNode, d int, out *[]*geom.Cell) {
+	if n.invalid {
+		return
+	}
+	if len(n.children) == 0 {
+		cell := geom.NewSimplex(d)
+		for i, w := range n.normals {
+			h := geom.NewHyperplane(w, i)
+			cell = cell.Clip(h, n.signs[i])
+			if cell == nil {
+				return
+			}
+		}
+		*out = append(*out, cell)
+		return
+	}
+	for _, c := range n.children {
+		ctaCollect(c, d, out)
+	}
+}
+
+const lpTol = 1e-9
+
+func appendVec(xs []vec.Vec, x vec.Vec) []vec.Vec {
+	out := make([]vec.Vec, len(xs)+1)
+	copy(out, xs)
+	out[len(xs)] = x
+	return out
+}
+
+func appendInt(xs []int, x int) []int {
+	out := make([]int, len(xs)+1)
+	copy(out, xs)
+	out[len(xs)] = x
+	return out
+}
+
+// queryPlanes rebuilds the RRQ hyper-plane classification (identical to the
+// core preprocessing, restated here because the baselines consume planes in
+// raw input order).
+func queryPlanes(pts []vec.Vec, q core.Query) (crossing []geom.Hyperplane, base int, err error) {
+	d := q.Q.Dim()
+	scale := 1 - q.Eps
+	for i, p := range pts {
+		if p.Dim() != d {
+			return nil, 0, errDim(d, p.Dim())
+		}
+		w := q.Q.AddScaled(-scale, p)
+		neg, pos := false, false
+		for _, x := range w {
+			if x > geom.Tol {
+				pos = true
+			} else if x < -geom.Tol {
+				neg = true
+			}
+		}
+		switch {
+		case !neg:
+		case !pos:
+			base++
+		default:
+			crossing = append(crossing, geom.NewHyperplane(w, i))
+		}
+	}
+	return crossing, base, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rrq/internal/geom"
+	"rrq/internal/vec"
+)
+
+// BruteForce2D solves the d = 2 case exactly by enumerating every crossing
+// of the utility segment and counting negative half-spaces at each
+// partition midpoint directly. O(n²); reference implementation for tests.
+func BruteForce2D(pts []vec.Vec, q Query) (*Region, error) {
+	if err := q.Validate(2); err != nil {
+		return nil, err
+	}
+	ps := buildPlanes(pts, q)
+	k := ps.kEff(q.K)
+	if k <= 0 {
+		return emptyRegion(2), nil
+	}
+	cuts := []float64{0, 1}
+	for _, h := range ps.crossing {
+		w := h.Normal
+		cuts = append(cuts, w[1]/(w[1]-w[0]))
+	}
+	sort.Float64s(cuts)
+
+	var out [][2]float64
+	for i := 0; i+1 < len(cuts); i++ {
+		a, b := cuts[i], cuts[i+1]
+		if b-a <= geom.Tol {
+			continue
+		}
+		mid := (a + b) / 2
+		u := vec.Of(mid, 1-mid)
+		neg := 0
+		for _, h := range ps.crossing {
+			if h.Eval(u) < 0 {
+				neg++
+			}
+		}
+		if neg < k {
+			out = append(out, [2]float64{a, b})
+		}
+	}
+	merged := MergeIntervals(out)
+	if len(merged) == 0 {
+		return emptyRegion(2), nil
+	}
+	return newIntervalRegion(merged), nil
+}
+
+// BruteForceND solves RRQ exactly in any dimension by materializing the
+// full arrangement: every crossing plane splits every cell, with no
+// pruning, reduction or laziness. Exponential in the number of planes;
+// guarded by maxPlanes and intended purely as a test oracle.
+func BruteForceND(pts []vec.Vec, q Query, maxPlanes int) (*Region, error) {
+	d := q.Q.Dim()
+	if err := q.Validate(d); err != nil {
+		return nil, err
+	}
+	ps := buildPlanes(pts, q)
+	if len(ps.crossing) > maxPlanes {
+		return nil, fmt.Errorf("core: brute force limited to %d planes, have %d", maxPlanes, len(ps.crossing))
+	}
+	k := ps.kEff(q.K)
+	if k <= 0 {
+		return emptyRegion(d), nil
+	}
+	type entry struct {
+		cell *geom.Cell
+		neg  int
+	}
+	cells := []entry{{cell: geom.NewSimplex(d)}}
+	for _, h := range ps.crossing {
+		next := cells[:0:0]
+		for _, e := range cells {
+			switch e.cell.Relation(h) {
+			case geom.RelNeg:
+				next = append(next, entry{e.cell, e.neg + 1})
+			case geom.RelPos:
+				next = append(next, e)
+			case geom.RelCross:
+				neg, pos := e.cell.Split(h)
+				if neg != nil {
+					next = append(next, entry{neg, e.neg + 1})
+				}
+				if pos != nil {
+					next = append(next, entry{pos, e.neg})
+				}
+			}
+		}
+		cells = next
+	}
+	var out []*geom.Cell
+	for _, e := range cells {
+		if e.neg < k {
+			out = append(out, e.cell)
+		}
+	}
+	if len(out) == 0 {
+		return emptyRegion(d), nil
+	}
+	return NewDisjointCellRegion(d, out), nil
+}

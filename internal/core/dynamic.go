@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"rrq/internal/geom"
+	"rrq/internal/vec"
+)
+
+// Dynamic maintains the answer to one reverse regret query over a dataset
+// that changes — the paper's stated future work (§7). Point insertions are
+// handled incrementally: a new product adds one hyper-plane, which can only
+// shrink the qualified region, so the maintained cells are clipped and
+// their counters raised in place. Deletions can grow the region back in
+// area the structure no longer tracks, so they trigger a recomputation
+// (amortized via batching: the rebuild is deferred until the next Region
+// call).
+type Dynamic struct {
+	q   Query
+	d   int
+	pts []vec.Vec
+
+	// cells with their exact negative-coverage counts, valid when !dirty.
+	cells []dynCell
+	dirty bool
+}
+
+type dynCell struct {
+	cell *geom.Cell
+	neg  int // negative half-spaces covering the cell (including base planes)
+}
+
+// NewDynamic builds the initial answer for query q over pts.
+func NewDynamic(pts []vec.Vec, q Query) (*Dynamic, error) {
+	d := q.Q.Dim()
+	if err := q.Validate(d); err != nil {
+		return nil, err
+	}
+	dyn := &Dynamic{q: q, d: d}
+	for _, p := range pts {
+		if p.Dim() != d {
+			return nil, errDimMismatch(d, p.Dim())
+		}
+		dyn.pts = append(dyn.pts, p.Clone())
+	}
+	dyn.rebuild()
+	return dyn, nil
+}
+
+// Len returns the current dataset size.
+func (dyn *Dynamic) Len() int { return len(dyn.pts) }
+
+// rebuild recomputes the cells and counters from scratch via an eager
+// arrangement walk. Cells reaching k negative half-spaces are pruned: an
+// insertion can only raise counters, so they can never requalify. The
+// Lemma 5.2 hyper-plane reduction applies here too: a dropped plane can
+// only cover cells that its k dominating (kept) planes already disqualify,
+// including any sub-cells carved out by future insertions, so qualified
+// counters stay exact.
+func (dyn *Dynamic) rebuild() {
+	ps := buildPlanes(dyn.pts, dyn.q)
+	k := dyn.q.K
+	dyn.cells = dyn.cells[:0]
+	dyn.dirty = false
+	if ps.base >= k {
+		return
+	}
+	planes := reduceAndOrderPlanes(ps.crossing, k-ps.base)
+	work := []dynCell{{cell: geom.NewSimplex(dyn.d), neg: ps.base}}
+	for _, h := range planes {
+		next := work[:0:0]
+		for _, e := range work {
+			switch e.cell.Relation(h) {
+			case geom.RelNeg:
+				e.neg++
+				if e.neg < k {
+					next = append(next, e)
+				}
+			case geom.RelPos:
+				next = append(next, e)
+			case geom.RelCross:
+				neg, pos := e.cell.Split(h)
+				if neg != nil && e.neg+1 < k {
+					next = append(next, dynCell{neg, e.neg + 1})
+				}
+				if pos != nil {
+					next = append(next, dynCell{pos, e.neg})
+				}
+			}
+		}
+		work = next
+	}
+	dyn.cells = work
+}
+
+// Insert adds a product and updates the answer incrementally: the new
+// hyper-plane clips the qualified cells and bumps their counters. Cost is
+// proportional to the current number of qualified cells.
+func (dyn *Dynamic) Insert(p vec.Vec) error {
+	if p.Dim() != dyn.d {
+		return errDimMismatch(dyn.d, p.Dim())
+	}
+	dyn.pts = append(dyn.pts, p.Clone())
+	if dyn.dirty {
+		return nil // a rebuild is pending anyway
+	}
+	w := dyn.q.Q.AddScaled(-(1 - dyn.q.Eps), p)
+	negAny, posAny := false, false
+	for _, x := range w {
+		if x > geom.Tol {
+			posAny = true
+		} else if x < -geom.Tol {
+			negAny = true
+		}
+	}
+	switch {
+	case !negAny:
+		return nil // the new product never counts against q
+	case !posAny:
+		// Covers everything: every cell's counter rises by one.
+		k := dyn.q.K
+		kept := dyn.cells[:0]
+		for _, e := range dyn.cells {
+			e.neg++
+			if e.neg < k {
+				kept = append(kept, e)
+			}
+		}
+		dyn.cells = kept
+		return nil
+	}
+	h := geom.NewHyperplane(w, len(dyn.pts)-1)
+	k := dyn.q.K
+	next := dyn.cells[:0:0]
+	for _, e := range dyn.cells {
+		switch e.cell.Relation(h) {
+		case geom.RelNeg:
+			e.neg++
+			if e.neg < k {
+				next = append(next, e)
+			}
+		case geom.RelPos:
+			next = append(next, e)
+		case geom.RelCross:
+			neg, pos := e.cell.Split(h)
+			if neg != nil && e.neg+1 < k {
+				next = append(next, dynCell{neg, e.neg + 1})
+			}
+			if pos != nil {
+				next = append(next, dynCell{pos, e.neg})
+			}
+		}
+	}
+	dyn.cells = next
+	return nil
+}
+
+// Delete removes the product at index i (in insertion order). The region
+// may grow, which the incremental structure cannot express, so the next
+// Region call rebuilds. Consecutive deletes share one rebuild.
+func (dyn *Dynamic) Delete(i int) error {
+	if i < 0 || i >= len(dyn.pts) {
+		return fmt.Errorf("core: delete index %d out of range [0,%d)", i, len(dyn.pts))
+	}
+	dyn.pts = append(dyn.pts[:i], dyn.pts[i+1:]...)
+	dyn.dirty = true
+	return nil
+}
+
+// Region returns the current answer, rebuilding first if deletions are
+// pending.
+func (dyn *Dynamic) Region() *Region {
+	if dyn.dirty {
+		dyn.rebuild()
+	}
+	if len(dyn.cells) == 0 {
+		return emptyRegion(dyn.d)
+	}
+	cells := make([]*geom.Cell, len(dyn.cells))
+	for i, e := range dyn.cells {
+		cells[i] = e.cell
+	}
+	return NewDisjointCellRegion(dyn.d, cells)
+}

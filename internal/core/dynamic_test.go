@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rrq/internal/vec"
+)
+
+// After any sequence of inserts and deletes, the dynamic answer must match
+// a fresh E-PT run over the current dataset.
+func TestDynamicMatchesFreshSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1111))
+	for _, d := range []int{2, 3, 4} {
+		for trial := 0; trial < 8; trial++ {
+			pts, q := randomInstance(rng, 12, d)
+			dyn, err := NewDynamic(pts, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := append([]vec.Vec(nil), pts...)
+			for op := 0; op < 20; op++ {
+				if rng.Intn(3) == 0 && len(cur) > 3 {
+					i := rng.Intn(len(cur))
+					if err := dyn.Delete(i); err != nil {
+						t.Fatal(err)
+					}
+					cur = append(cur[:i], cur[i+1:]...)
+				} else {
+					p := vec.New(d)
+					for j := range p {
+						p[j] = 0.01 + 0.99*rng.Float64()
+					}
+					if err := dyn.Insert(p); err != nil {
+						t.Fatal(err)
+					}
+					cur = append(cur, p)
+				}
+			}
+			got := dyn.Region()
+			want, err := EPT(cur, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				u := vec.RandSimplex(rng, d)
+				_, margin := CountBetter(cur, q, u)
+				if margin < boundaryMargin {
+					continue
+				}
+				if got.Contains(u) != want.Contains(u) {
+					t.Fatalf("d=%d trial=%d: dynamic=%v fresh=%v at %v",
+						d, trial, got.Contains(u), want.Contains(u), u)
+				}
+			}
+		}
+	}
+}
+
+// Insert-only paths must stay exact without any rebuild.
+func TestDynamicInsertOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2222))
+	pts, q := randomInstance(rng, 10, 3)
+	dyn, err := NewDynamic(pts, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := append([]vec.Vec(nil), pts...)
+	for i := 0; i < 25; i++ {
+		p := vec.New(3)
+		for j := range p {
+			p[j] = 0.01 + 0.99*rng.Float64()
+		}
+		if err := dyn.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		cur = append(cur, p)
+	}
+	got := dyn.Region()
+	want, err := EPT(cur, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		u := vec.RandSimplex(rng, 3)
+		_, margin := CountBetter(cur, q, u)
+		if margin < boundaryMargin {
+			continue
+		}
+		if got.Contains(u) != want.Contains(u) {
+			t.Fatalf("insert-only mismatch at %v", u)
+		}
+	}
+}
+
+// A dominating insertion (a product beating q everywhere) must erase the
+// region once k such products exist.
+func TestDynamicDominatingInserts(t *testing.T) {
+	pts := []vec.Vec{vec.Of(0.3, 0.3), vec.Of(0.4, 0.2)}
+	q := Query{Q: vec.Of(0.5, 0.5), K: 2, Eps: 0.0}
+	dyn, err := NewDynamic(pts, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Region().Empty() {
+		t.Fatal("initial region should cover everything")
+	}
+	// Two strictly dominating products with k=2 kill the region.
+	if err := dyn.Insert(vec.Of(0.9, 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Region().Empty() {
+		t.Fatal("one dominator with k=2 should leave the region intact")
+	}
+	if err := dyn.Insert(vec.Of(0.95, 0.95)); err != nil {
+		t.Fatal(err)
+	}
+	if !dyn.Region().Empty() {
+		t.Fatal("two dominators with k=2 should empty the region")
+	}
+	// Deleting one of them restores it.
+	if err := dyn.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Region().Empty() {
+		t.Fatal("deletion should restore the region")
+	}
+}
+
+func TestDynamicErrors(t *testing.T) {
+	pts := []vec.Vec{vec.Of(0.5, 0.5)}
+	if _, err := NewDynamic(pts, Query{Q: vec.Of(0.5, 0.5), K: 0, Eps: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	dyn, err := NewDynamic(pts, Query{Q: vec.Of(0.5, 0.5), K: 1, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dyn.Insert(vec.Of(1, 2, 3)); err == nil {
+		t.Error("dim-mismatched insert accepted")
+	}
+	if err := dyn.Delete(5); err == nil {
+		t.Error("out-of-range delete accepted")
+	}
+	if dyn.Len() != 1 {
+		t.Errorf("Len = %d, want 1", dyn.Len())
+	}
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rrq/internal/geom"
+	"rrq/internal/skyband"
+	"rrq/internal/vec"
+)
+
+// ErrDeadline is returned when a solver exceeds its optional deadline.
+var ErrDeadline = errors.New("core: deadline exceeded")
+
+// eptNode is one node of the partition tree (paper §5.1.1). Leaves carry
+// the lazy hyper-plane set H(N); internal nodes carry two children that
+// partition the node's cell.
+type eptNode struct {
+	cell     *geom.Cell
+	q        int               // negative half-spaces covering the cell
+	lazy     []geom.Hyperplane // H(N); leaves only
+	children []*eptNode
+	invalid  bool
+}
+
+func (n *eptNode) leaf() bool { return len(n.children) == 0 }
+
+// EPTStats reports work counters from an E-PT run, used by the ablation
+// benchmarks.
+type EPTStats struct {
+	PlanesBuilt    int // crossing planes before reduction
+	PlanesInserted int // planes surviving the Lemma 5.2 reduction
+	NodesCreated   int // tree nodes allocated
+	Splits         int // lazy splits performed
+}
+
+// EPTOptions disables individual accelerations of §5.1.2, for the ablation
+// benchmarks. The zero value runs the full algorithm.
+type EPTOptions struct {
+	// NoReduction skips the Lemma 5.2 hyper-plane reduction.
+	NoReduction bool
+	// NoOrdering inserts hyper-planes in input order instead of by W(h).
+	NoOrdering bool
+	// NoLazySplit splits leaves eagerly on every crossing plane instead of
+	// deferring through H(N).
+	NoLazySplit bool
+	// Deadline, when non-zero, aborts the solve with ErrDeadline. It is
+	// checked between hyper-plane insertions, so overshoot is bounded by
+	// one insertion.
+	Deadline time.Time
+}
+
+// EPT solves RRQ exactly in any dimension via the partition tree
+// (paper §5.1, Algorithm 2). The four published accelerations are applied:
+// hyper-plane reduction (Lemma 5.2), W(h)-descending insertion order,
+// sphere-accelerated relationship checks (inside geom.Cell.Relation) and
+// lazy splitting with H(N) refinement.
+func EPT(pts []vec.Vec, q Query) (*Region, error) {
+	r, _, err := EPTWithStats(pts, q)
+	return r, err
+}
+
+// EPTWithStats is EPT plus work counters.
+func EPTWithStats(pts []vec.Vec, q Query) (*Region, EPTStats, error) {
+	return EPTWithOptions(pts, q, EPTOptions{})
+}
+
+// EPTWithOptions runs E-PT with selected accelerations disabled.
+func EPTWithOptions(pts []vec.Vec, q Query, opt EPTOptions) (*Region, EPTStats, error) {
+	var st EPTStats
+	d := q.Q.Dim()
+	if err := q.Validate(d); err != nil {
+		return nil, st, err
+	}
+	for _, p := range pts {
+		if p.Dim() != d {
+			return nil, st, errDimMismatch(d, p.Dim())
+		}
+	}
+	ps := buildPlanes(pts, q)
+	st.PlanesBuilt = len(ps.crossing)
+	k := ps.kEff(q.K)
+	if k <= 0 {
+		return emptyRegion(d), st, nil
+	}
+
+	planes := ps.crossing
+	if !opt.NoReduction || !opt.NoOrdering {
+		planes = reduceAndOrderPlanesOpt(ps.crossing, k, opt.NoReduction, opt.NoOrdering)
+	}
+	st.PlanesInserted = len(planes)
+
+	t := &eptTree{k: k, stats: &st, eager: opt.NoLazySplit, deadline: opt.Deadline}
+	t.root = &eptNode{cell: geom.NewSimplex(d)}
+	st.NodesCreated++
+	for _, h := range planes {
+		t.insert(t.root, h)
+		if t.expired || (!opt.Deadline.IsZero() && time.Now().After(opt.Deadline)) {
+			return nil, st, ErrDeadline
+		}
+	}
+
+	var cells []*geom.Cell
+	t.collect(t.root, &cells)
+	if len(cells) == 0 {
+		return emptyRegion(d), st, nil
+	}
+	return NewDisjointCellRegion(d, cells), st, nil
+}
+
+// reduceAndOrderPlanes applies the hyper-plane reduction of Lemma 5.2 and
+// the W(h)-descending insertion order of §5.1.2.
+//
+// h_i⁻ ⊆ h_j⁻ when the unit normal of h_i dominates (component-wise ≥,
+// somewhere >) that of h_j. A plane whose negative half-space is covered by
+// ≥ k other negative half-spaces is redundant. This is exactly a k-skyband
+// computation under the reversed order, so the skyband substrate is reused
+// on negated unit normals (a standard descent argument shows counting only
+// kept dominators is sufficient — see internal/skyband).
+func reduceAndOrderPlanes(planes []geom.Hyperplane, k int) []geom.Hyperplane {
+	return reduceAndOrderPlanesOpt(planes, k, false, false)
+}
+
+// reduceAndOrderPlanesOpt optionally skips the reduction or the ordering,
+// for ablation runs.
+func reduceAndOrderPlanesOpt(planes []geom.Hyperplane, k int, noReduce, noOrder bool) []geom.Hyperplane {
+	m := len(planes)
+	if m == 0 {
+		return nil
+	}
+	negUnits := make([]vec.Vec, m)
+	for i, h := range planes {
+		negUnits[i] = h.Unit().Scale(-1)
+	}
+	var keepIdx []int
+	if noReduce {
+		keepIdx = make([]int, m)
+		for i := range keepIdx {
+			keepIdx[i] = i
+		}
+	} else {
+		keepIdx = skyband.KSkyband(negUnits, k)
+	}
+	kept := make([]geom.Hyperplane, len(keepIdx))
+	// W(h): the number of negative half-spaces covered by h⁻. By Lemma 5.2,
+	// v' ≥ v component-wise means h'⁻ ⊆ h⁻, so W counts the planes whose
+	// unit normal dominates h's. Inserting in descending W order lets the
+	// widest negative half-spaces raise counters first, so invalid nodes
+	// are discovered early.
+	w := make([]int, len(keepIdx))
+	for out, i := range keepIdx {
+		kept[out] = planes[i]
+		ui := planes[i].Unit()
+		for j := 0; j < m; j++ {
+			if j != i && skyband.Dominates(planes[j].Unit(), ui) {
+				w[out]++
+			}
+		}
+	}
+	if noOrder {
+		return kept
+	}
+	order := make([]int, len(kept))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if w[order[a]] != w[order[b]] {
+			return w[order[a]] > w[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	out := make([]geom.Hyperplane, len(kept))
+	for i, idx := range order {
+		out[i] = kept[idx]
+	}
+	return out
+}
+
+type eptTree struct {
+	root     *eptNode
+	k        int
+	stats    *EPTStats
+	eager    bool // ablation: split on every crossing plane immediately
+	deadline time.Time
+	visits   int  // node visits since the last deadline check
+	expired  bool // deadline has fired; abandon remaining work
+}
+
+// checkDeadline samples the clock every few thousand node visits so that a
+// single insertion into a very large tree cannot overshoot the deadline by
+// more than a bounded amount of work.
+func (t *eptTree) checkDeadline() bool {
+	if t.expired {
+		return true
+	}
+	if t.deadline.IsZero() {
+		return false
+	}
+	t.visits++
+	if t.visits&0xfff == 0 && time.Now().After(t.deadline) {
+		t.expired = true
+	}
+	return t.expired
+}
+
+// needSplit is the lazy-split trigger; in eager mode any pending plane
+// forces a split.
+func (t *eptTree) needSplit(n *eptNode) bool {
+	if t.eager {
+		return len(n.lazy) > 0 || n.q >= t.k
+	}
+	return n.q+len(n.lazy) >= t.k
+}
+
+// insert performs the top-down insertion of Algorithm 2.
+func (t *eptTree) insert(n *eptNode, h geom.Hyperplane) {
+	if n.invalid || t.checkDeadline() {
+		return
+	}
+	switch n.cell.Relation(h) {
+	case geom.RelNeg:
+		t.coverNeg(n)
+	case geom.RelPos:
+		// Case 2: nothing in this subtree is affected.
+	case geom.RelCross:
+		if !n.leaf() {
+			for _, c := range n.children {
+				t.insert(c, h)
+			}
+			return
+		}
+		n.lazy = append(n.lazy, h)
+		if t.needSplit(n) {
+			t.lazySplit(n)
+		}
+	}
+}
+
+// coverNeg applies a covering negative half-space to n's whole subtree
+// (Case 1, with the Lemma 5.3 shortcut: descendants inherit the coverage
+// without re-running geometric checks).
+func (t *eptTree) coverNeg(n *eptNode) {
+	if n.invalid || t.checkDeadline() {
+		return
+	}
+	n.q++
+	if n.q >= t.k {
+		n.invalid = true
+		return
+	}
+	if !n.leaf() {
+		for _, c := range n.children {
+			t.coverNeg(c)
+		}
+		return
+	}
+	if n.q+len(n.lazy) >= t.k {
+		t.lazySplit(n)
+	}
+}
+
+// lazySplit pops hyper-planes from H(N) and splits the leaf until the
+// qualification budget is respected again (paper §5.1.2, Lazy_Split +
+// Refine). The loop also absorbs numerically degenerate splits where one
+// side vanishes.
+func (t *eptTree) lazySplit(n *eptNode) {
+	for !n.invalid && n.leaf() && t.needSplit(n) && !t.checkDeadline() {
+		if len(n.lazy) == 0 {
+			// q ≥ k without pending planes: disqualified outright.
+			n.invalid = true
+			return
+		}
+		h := n.lazy[0]
+		n.lazy = n.lazy[1:]
+		neg, pos := n.cell.Split(h)
+		switch {
+		case neg == nil && pos == nil:
+			// Degenerate sliver; drop the plane.
+		case neg == nil:
+			// The cell is effectively on the positive side; drop the plane.
+			n.cell = pos
+		case pos == nil:
+			// The cell is effectively on the negative side.
+			n.cell = neg
+			n.q++
+			if n.q >= t.k {
+				n.invalid = true
+				return
+			}
+		default:
+			t.stats.Splits++
+			left := &eptNode{cell: neg, q: n.q + 1, lazy: append([]geom.Hyperplane(nil), n.lazy...)}
+			right := &eptNode{cell: pos, q: n.q, lazy: n.lazy}
+			t.stats.NodesCreated += 2
+			n.children = []*eptNode{left, right}
+			n.lazy = nil
+			t.refine(left)
+			t.refine(right)
+			return
+		}
+	}
+}
+
+// refine re-checks a fresh child's inherited H(N) against its smaller cell,
+// dropping planes that no longer cross it and folding covering negative
+// half-spaces into the counter, then re-applies the lazy-split trigger.
+func (t *eptTree) refine(n *eptNode) {
+	if n.q >= t.k {
+		n.invalid = true
+		return
+	}
+	kept := n.lazy[:0:len(n.lazy)] // fresh backing view; slices were copied by caller for one child
+	for _, h := range n.lazy {
+		switch n.cell.Relation(h) {
+		case geom.RelNeg:
+			n.q++
+			if n.q >= t.k {
+				n.invalid = true
+				return
+			}
+		case geom.RelPos:
+			// Dropped.
+		case geom.RelCross:
+			kept = append(kept, h)
+		}
+	}
+	n.lazy = kept
+	if t.needSplit(n) {
+		t.lazySplit(n)
+	}
+}
+
+// collect gathers qualified leaf cells: valid leaves with
+// Q(N) + |H(N)| < k, whose entire partition qualifies (paper §5.1.2).
+func (t *eptTree) collect(n *eptNode, out *[]*geom.Cell) {
+	if n.invalid {
+		return
+	}
+	if n.leaf() {
+		if n.q+len(n.lazy) < t.k {
+			*out = append(*out, n.cell)
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.collect(c, out)
+	}
+}
+
+func errDimMismatch(want, got int) error {
+	return fmt.Errorf("core: point dimension %d does not match query dimension %d", got, want)
+}

@@ -1,0 +1,110 @@
+package core
+
+// Native fuzz targets. The seed corpus runs as part of the normal test
+// suite; `go test -fuzz=FuzzSweepingVsBrute ./internal/core` explores
+// further.
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rrq/internal/vec"
+)
+
+// decodeInstance deterministically derives a small 2-d instance from raw
+// fuzz bytes: n points, a query, k and ε.
+func decodeInstance(data []byte) ([]vec.Vec, Query, bool) {
+	if len(data) < 8 {
+		return nil, Query{}, false
+	}
+	seed := int64(binary.LittleEndian.Uint64(data[:8]))
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + len(data)%24
+	pts := make([]vec.Vec, n)
+	for i := range pts {
+		pts[i] = vec.Of(0.01+0.99*rng.Float64(), 0.01+0.99*rng.Float64())
+	}
+	q := Query{
+		Q:   vec.Of(0.01+0.99*rng.Float64(), 0.01+0.99*rng.Float64()),
+		K:   1 + rng.Intn(6),
+		Eps: math.Mod(rng.Float64(), 0.3),
+	}
+	return pts, q, true
+}
+
+// FuzzSweepingVsBrute cross-checks the linear-time sweep against the
+// quadratic reference on arbitrary derived instances.
+func FuzzSweepingVsBrute(f *testing.F) {
+	f.Add([]byte("seed-one"))
+	f.Add([]byte("another-seed-bytes"))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, q, ok := decodeInstance(data)
+		if !ok {
+			return
+		}
+		want, err := BruteForce2D(pts, q)
+		if err != nil {
+			return
+		}
+		got, err := Sweeping(pts, q)
+		if err != nil {
+			t.Fatalf("Sweeping failed where brute force succeeded: %v", err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 50; i++ {
+			u := vec.RandSimplex(rng, 2)
+			_, margin := CountBetter(pts, q, u)
+			if margin < boundaryMargin {
+				continue
+			}
+			if want.Contains(u) != got.Contains(u) {
+				t.Fatalf("disagreement at %v (k=%d ε=%v)", u, q.K, q.Eps)
+			}
+		}
+	})
+}
+
+// FuzzAPCSound checks that A-PC never returns an unqualified preference.
+func FuzzAPCSound(f *testing.F) {
+	f.Add([]byte("apc-seed"), uint8(3))
+	f.Add([]byte("zzzzzzzzz"), uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, dimByte uint8) {
+		if len(data) < 8 {
+			return
+		}
+		d := 2 + int(dimByte)%3
+		seed := int64(binary.LittleEndian.Uint64(data[:8]))
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + len(data)%20
+		pts := make([]vec.Vec, n)
+		for i := range pts {
+			p := vec.New(d)
+			for j := range p {
+				p[j] = 0.01 + 0.99*rng.Float64()
+			}
+			pts[i] = p
+		}
+		qp := vec.New(d)
+		for j := range qp {
+			qp[j] = 0.01 + 0.99*rng.Float64()
+		}
+		q := Query{Q: qp, K: 1 + rng.Intn(4), Eps: math.Mod(rng.Float64(), 0.25)}
+		reg, err := APC(pts, q, APCOptions{Samples: 40, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			u := vec.RandSimplex(rng, d)
+			count, margin := CountBetter(pts, q, u)
+			if margin < boundaryMargin {
+				continue
+			}
+			if reg.Contains(u) && count >= q.K {
+				t.Fatalf("A-PC returned unqualified %v (count=%d k=%d)", u, count, q.K)
+			}
+		}
+	})
+}

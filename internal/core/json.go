@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+
+	"rrq/internal/geom"
+)
+
+// regionJSON is the wire form of a Region: either intervals (d = 2 sweep
+// results) or cells described by their half-space constraints. Vertices are
+// included for convenience (plotting, debugging); membership can be decided
+// from the constraints alone.
+type regionJSON struct {
+	Dim       int          `json:"dim"`
+	Intervals [][2]float64 `json:"intervals,omitempty"`
+	Cells     []cellJSON   `json:"cells,omitempty"`
+}
+
+type cellJSON struct {
+	Constraints []constraintJSON `json:"constraints"`
+	Vertices    [][]float64      `json:"vertices"`
+}
+
+type constraintJSON struct {
+	Normal []float64 `json:"normal"` // unit normal of the hyper-plane
+	Sign   int       `json:"sign"`   // +1 keeps u·normal ≥ 0, −1 keeps ≤ 0
+}
+
+// MarshalJSON encodes the region. The encoding is self-contained: a
+// consumer can test membership of a utility vector u by checking
+// sign·(u·normal) ≥ 0 for every constraint of some cell (or locating u[0]
+// in an interval for 2-d sweep output).
+func (r *Region) MarshalJSON() ([]byte, error) {
+	out := regionJSON{Dim: r.dim, Intervals: r.intervals}
+	for _, c := range r.cells {
+		cj := cellJSON{}
+		for _, con := range c.Constraints() {
+			cj.Constraints = append(cj.Constraints, constraintJSON{
+				Normal: con.H.Normal,
+				Sign:   con.Sign,
+			})
+		}
+		for _, v := range c.Vertices() {
+			cj.Vertices = append(cj.Vertices, v)
+		}
+		out.Cells = append(out.Cells, cj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a region previously produced by MarshalJSON. Cells
+// are reconstructed as constraint sets with their stored vertices; the
+// disjointness flag is conservatively dropped (measure falls back to
+// Monte-Carlo in d ≥ 3).
+func (r *Region) UnmarshalJSON(data []byte) error {
+	var in regionJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	r.dim = in.Dim
+	r.intervals = in.Intervals
+	r.cells = nil
+	r.disjoint = false
+	for _, cj := range in.Cells {
+		cell := geom.NewSimplex(in.Dim)
+		for i, con := range cj.Constraints {
+			h := geom.NewHyperplane(con.Normal, i)
+			cell = cell.Clip(h, con.Sign)
+			if cell == nil {
+				// Numerically empty after round-trip; drop the cell.
+				break
+			}
+		}
+		if cell != nil {
+			r.cells = append(r.cells, cell)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Package core implements the reverse regret query (RRQ) of the paper:
+// given a dataset D, a query point q, an integer k and a threshold ε, find
+// the region of the utility simplex on which q is a (k,ε)-regret point.
+//
+// Three solvers are provided, mirroring the paper:
+//
+//   - Sweeping: the linear-time special case for d = 2 (paper §4).
+//   - EPT: the exact partition-tree algorithm for any d (paper §5.1) with
+//     all four published accelerations.
+//   - APC: the approximate progressive-construction algorithm (paper §5.2).
+//
+// A brute-force reference solver and a membership oracle support testing.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rrq/internal/geom"
+	"rrq/internal/topk"
+	"rrq/internal/vec"
+)
+
+// Query is one reverse regret query.
+type Query struct {
+	Q   vec.Vec // the query point, d-dimensional, attributes in (0,1]
+	K   int     // rank parameter k ≥ 1
+	Eps float64 // regret threshold ε ∈ [0,1)
+}
+
+// Validate checks the query against the dataset dimension d.
+func (q Query) Validate(d int) error {
+	if q.Q.Dim() != d {
+		return fmt.Errorf("core: query dimension %d does not match dataset dimension %d", q.Q.Dim(), d)
+	}
+	if d < 2 {
+		return fmt.Errorf("core: dimension %d < 2", d)
+	}
+	for i, x := range q.Q {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("core: query coordinate %d is %v", i, x)
+		}
+	}
+	if q.K < 1 {
+		return fmt.Errorf("core: k = %d < 1", q.K)
+	}
+	if q.Eps < 0 || q.Eps >= 1 || math.IsNaN(q.Eps) {
+		return fmt.Errorf("core: ε = %v outside [0,1)", q.Eps)
+	}
+	return nil
+}
+
+// FilterCustomers answers the bichromatic (discrete) variant of RRQ, as in
+// the finite-preference-set reverse top-k literature: given an explicit set
+// of customer utility vectors, return the indices of those for which q is a
+// (k,ε)-regret point. Linear in |customers|·|pts|.
+func FilterCustomers(pts []vec.Vec, q Query, customers []vec.Vec) ([]int, error) {
+	d := q.Q.Dim()
+	if err := q.Validate(d); err != nil {
+		return nil, err
+	}
+	var out []int
+	for i, u := range customers {
+		if u.Dim() != d {
+			return nil, fmt.Errorf("core: customer %d has dimension %d, want %d", i, u.Dim(), d)
+		}
+		if QualifiedAt(pts, q, u) {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// RegretRatio computes k-regratio(q, u) (Definition 3.2): the relative gap
+// between the k-th highest utility in pts and the utility of q, floored at
+// zero.
+func RegretRatio(pts []vec.Vec, q Query, u vec.Vec) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	utils := topk.Utilities(pts, u)
+	sk := topk.KthMax(utils, q.K)
+	fq := u.Dot(q.Q)
+	if sk <= 0 {
+		return 0
+	}
+	return math.Max(0, sk-fq) / sk
+}
+
+// CountBetter returns the number of points p with (1−ε)·f_u(p) > f_u(q) —
+// the number of negative half-spaces containing u — together with the
+// smallest absolute margin |(1−ε)f_u(p) − f_u(q)| seen. By Lemma 3.5, q is
+// a (k,ε)-regret point w.r.t. u iff the count is below k. The margin lets
+// property tests skip utility vectors that sit numerically on a boundary.
+func CountBetter(pts []vec.Vec, q Query, u vec.Vec) (count int, margin float64) {
+	fq := u.Dot(q.Q)
+	margin = math.Inf(1)
+	scale := 1 - q.Eps
+	for _, p := range pts {
+		diff := scale*u.Dot(p) - fq
+		if diff > 0 {
+			count++
+		}
+		if a := math.Abs(diff); a < margin {
+			margin = a
+		}
+	}
+	return count, margin
+}
+
+// QualifiedAt reports whether q is a (k,ε)-regret point w.r.t. u, using the
+// half-space counting characterization (Lemma 3.5). For ε > 0 this agrees
+// with RegretRatio(…) < ε except on measure-zero boundaries; for ε = 0 it
+// yields the continuous reverse top-k semantics.
+func QualifiedAt(pts []vec.Vec, q Query, u vec.Vec) bool {
+	c, _ := CountBetter(pts, q, u)
+	return c < q.K
+}
+
+// planeSet is the preprocessed hyper-plane arrangement input shared by the
+// solvers.
+type planeSet struct {
+	d        int
+	crossing []geom.Hyperplane // planes whose negative half-space cuts U properly
+	base     int               // planes whose negative half-space covers all of U
+}
+
+// kEff returns the effective budget k − base. When ≤ 0 the whole utility
+// space is disqualified.
+func (ps planeSet) kEff(k int) int { return k - ps.base }
+
+// buildPlanes constructs h_{q,p} for every p ∈ pts and classifies it:
+//
+//   - normal ≥ 0 component-wise: the negative half-space misses U entirely;
+//     the plane can never count against q and is dropped;
+//   - normal ≤ 0 component-wise (with some strictly negative component):
+//     the negative half-space covers U up to measure zero; it contributes a
+//     constant +1 to every partition's counter and is folded into base;
+//   - mixed signs: the plane genuinely crosses U and enters the sweep/tree.
+//
+// Plane IDs are the indices of the source points, which keeps them unique
+// within the arrangement as the geometry package requires.
+func buildPlanes(pts []vec.Vec, q Query) planeSet {
+	ps := planeSet{d: q.Q.Dim()}
+	scale := 1 - q.Eps
+	for i, p := range pts {
+		w := q.Q.AddScaled(-scale, p)
+		neg, pos := false, false
+		for _, x := range w {
+			if x > geom.Tol {
+				pos = true
+			} else if x < -geom.Tol {
+				neg = true
+			}
+		}
+		switch {
+		case !neg:
+			// Never negative over U (includes the degenerate zero normal).
+		case !pos:
+			ps.base++
+		default:
+			ps.crossing = append(ps.crossing, geom.NewHyperplane(w, i))
+		}
+	}
+	return ps
+}

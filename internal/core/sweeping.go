@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rrq/internal/geom"
+	"rrq/internal/topk"
+	"rrq/internal/vec"
+)
+
+// Sweeping solves the 2-dimensional special case of RRQ in O(n) time
+// (paper §4, Algorithm 1). The utility space is the segment
+// L = {(t, 1−t) : t ∈ [0,1]} swept from (0,1) (t = 0) toward (1,0) (t = 1).
+//
+// A crossing plane with normal w is inclusive when its negative half-space
+// contains the reference r = (1,0) (w[0] < 0): the sweep passes its
+// positive side first. It is exclusive when w[0] > 0. Partition reduction
+// (Lemmas 4.1, 4.2) restricts the sweep to the window between the k-th
+// ranked exclusive and the k-th ranked inclusive crossings, and the counter
+// update per event is O(1) (Lemma 4.3).
+func Sweeping(pts []vec.Vec, q Query) (*Region, error) {
+	if err := q.Validate(2); err != nil {
+		return nil, err
+	}
+	if q.Q.Dim() != 2 {
+		return nil, fmt.Errorf("core: Sweeping requires d = 2, got %d", q.Q.Dim())
+	}
+	for _, p := range pts {
+		if p.Dim() != 2 {
+			return nil, fmt.Errorf("core: Sweeping requires 2-d points")
+		}
+	}
+	ps := buildPlanes(pts, q)
+	k := ps.kEff(q.K)
+	if k <= 0 {
+		return emptyRegion(2), nil
+	}
+
+	// Crossing parameters on L: u·w = 0 at t* = w2 / (w2 − w1).
+	var incl, excl []float64
+	for _, h := range ps.crossing {
+		w := h.Normal
+		t := w[1] / (w[1] - w[0])
+		if w[0] < 0 {
+			incl = append(incl, t)
+		} else {
+			excl = append(excl, t)
+		}
+	}
+
+	// Partition reduction: everything past the k-th inclusive crossing and
+	// before the k-th exclusive crossing is covered by ≥ k negative
+	// half-spaces (Lemma 4.1 and its mirror).
+	tHi := 1.0
+	if len(incl) >= k {
+		tHi = kthSmallest(incl, k)
+	}
+	tLo := 0.0
+	if len(excl) >= k {
+		tLo = topk.KthMax(excl, k)
+	}
+	if tLo >= tHi-geom.Tol {
+		return emptyRegion(2), nil
+	}
+
+	// Initial counter at the window start: inclusive planes already passed
+	// plus exclusive planes not yet passed.
+	q0 := 0
+	type event struct {
+		t    float64
+		incl bool
+	}
+	var events []event
+	for _, t := range incl {
+		switch {
+		case t <= tLo+geom.Tol:
+			q0++
+		case t < tHi-geom.Tol:
+			events = append(events, event{t, true})
+		}
+	}
+	for _, t := range excl {
+		if t > tLo+geom.Tol {
+			q0++
+			if t < tHi-geom.Tol {
+				events = append(events, event{t, false})
+			}
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].t < events[b].t })
+
+	// Sweep the O(k) surviving partitions with an O(1) counter update.
+	var out [][2]float64
+	qc := q0
+	prev := tLo
+	emit := func(a, b float64) {
+		if qc < k && b-a > geom.Tol {
+			out = append(out, [2]float64{a, b})
+		}
+	}
+	for _, ev := range events {
+		emit(prev, ev.t)
+		if ev.incl {
+			qc++
+		} else {
+			qc--
+		}
+		prev = ev.t
+	}
+	emit(prev, tHi)
+
+	merged := MergeIntervals(out)
+	if len(merged) == 0 {
+		return emptyRegion(2), nil
+	}
+	return newIntervalRegion(merged), nil
+}
+
+// kthSmallest returns the k-th smallest element of xs (1-based).
+func kthSmallest(xs []float64, k int) float64 {
+	neg := make([]float64, len(xs))
+	for i, x := range xs {
+		neg[i] = -x
+	}
+	return -topk.KthMax(neg, k)
+}

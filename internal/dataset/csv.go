@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"rrq/internal/vec"
+)
+
+// WriteCSV writes points as rows of decimal values with a header
+// attr1..attrD.
+func WriteCSV(w io.Writer, pts []vec.Vec) error {
+	cw := csv.NewWriter(w)
+	if len(pts) > 0 {
+		hdr := make([]string, len(pts[0]))
+		for j := range hdr {
+			hdr[j] = fmt.Sprintf("attr%d", j+1)
+		}
+		if err := cw.Write(hdr); err != nil {
+			return err
+		}
+	}
+	row := make([]string, 0, 8)
+	for _, p := range pts {
+		row = row[:0]
+		for _, x := range p {
+			row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads points written by WriteCSV (or any numeric CSV with a
+// one-line header). All rows must have the same width.
+func ReadCSV(r io.Reader) ([]vec.Vec, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) <= 1 {
+		return nil, nil
+	}
+	d := len(rows[0])
+	pts := make([]vec.Vec, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != d {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", i+2, len(row), d)
+		}
+		p := vec.New(d)
+		for j, s := range row {
+			x, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d field %d: %w", i+2, j+1, err)
+			}
+			p[j] = x
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}

@@ -1,0 +1,219 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rrq/internal/skyband"
+	"rrq/internal/vec"
+)
+
+func TestGenerateRanges(t *testing.T) {
+	for _, typ := range []Type{Independent, Correlated, Anticorrelated} {
+		pts := Generate(typ, 500, 4, 1)
+		if len(pts) != 500 {
+			t.Fatalf("%v: %d points", typ, len(pts))
+		}
+		for _, p := range pts {
+			for j, x := range p {
+				if x <= 0 || x > 1 {
+					t.Fatalf("%v: coordinate %d = %v out of (0,1]", typ, j, x)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Independent, 100, 3, 42)
+	b := Generate(Independent, 100, 3, 42)
+	for i := range a {
+		if !a[i].Equal(b[i], 0) {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := Generate(Independent, 100, 3, 43)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i], 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// The defining property of the three distributions: skyline sizes order as
+// Cor < Indep < Anti.
+func TestDistributionSkylineOrdering(t *testing.T) {
+	n, d := 3000, 3
+	sizes := map[Type]int{}
+	for _, typ := range []Type{Independent, Correlated, Anticorrelated} {
+		pts := Generate(typ, n, d, 9)
+		sizes[typ] = len(skyband.Skyline(pts))
+	}
+	if !(sizes[Correlated] < sizes[Independent] && sizes[Independent] < sizes[Anticorrelated]) {
+		t.Fatalf("skyline sizes Cor=%d Indep=%d Anti=%d violate Cor<Indep<Anti",
+			sizes[Correlated], sizes[Independent], sizes[Anticorrelated])
+	}
+}
+
+func TestCorrelationSign(t *testing.T) {
+	corr := func(pts []vec.Vec) float64 {
+		var mx, my float64
+		for _, p := range pts {
+			mx += p[0]
+			my += p[1]
+		}
+		n := float64(len(pts))
+		mx, my = mx/n, my/n
+		var sxy, sxx, syy float64
+		for _, p := range pts {
+			dx, dy := p[0]-mx, p[1]-my
+			sxy += dx * dy
+			sxx += dx * dx
+			syy += dy * dy
+		}
+		return sxy / math.Sqrt(sxx*syy)
+	}
+	if c := corr(Generate(Correlated, 4000, 2, 5)); c < 0.5 {
+		t.Errorf("correlated corr = %v, want > 0.5", c)
+	}
+	if c := corr(Generate(Anticorrelated, 4000, 2, 5)); c > -0.5 {
+		t.Errorf("anticorrelated corr = %v, want < -0.5", c)
+	}
+	if c := corr(Generate(Independent, 4000, 2, 5)); math.Abs(c) > 0.1 {
+		t.Errorf("independent corr = %v, want ~0", c)
+	}
+}
+
+func TestNormalizeEdgeCases(t *testing.T) {
+	Normalize(nil) // must not panic
+	pts := []vec.Vec{vec.Of(5, 1), vec.Of(5, 3)}
+	Normalize(pts)
+	// Constant dimension collapses to 1.
+	if pts[0][0] != 1 || pts[1][0] != 1 {
+		t.Errorf("constant dim = %v, %v, want 1", pts[0][0], pts[1][0])
+	}
+	if pts[0][1] <= 0 || pts[1][1] != 1 {
+		t.Errorf("varying dim = %v, %v", pts[0][1], pts[1][1])
+	}
+}
+
+func TestRandQueryInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := Generate(Independent, 50, 4, 3)
+	for i := 0; i < 100; i++ {
+		q := RandQuery(rng, pts)
+		for _, x := range q {
+			if x <= 0 || x > 1 {
+				t.Fatalf("query coordinate %v out of (0,1]", x)
+			}
+		}
+	}
+}
+
+func TestTypeStringRoundTrip(t *testing.T) {
+	for _, typ := range []Type{Independent, Correlated, Anticorrelated} {
+		got, err := ParseType(typ.String())
+		if err != nil || got != typ {
+			t.Fatalf("round trip %v failed: %v %v", typ, got, err)
+		}
+	}
+	if _, err := ParseType("bogus"); err == nil {
+		t.Fatal("expected error for bogus type")
+	}
+}
+
+func TestRealSpecs(t *testing.T) {
+	wants := map[RealName][2]int{
+		Island: {63383, 2}, Weather: {178080, 4}, Car: {69052, 4}, NBA: {16916, 5},
+	}
+	for name, want := range wants {
+		n, d, err := RealSpec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want[0] || d != want[1] {
+			t.Errorf("%s spec = (%d,%d), want %v", name, n, d, want)
+		}
+	}
+	if _, _, err := RealSpec("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRealGeneration(t *testing.T) {
+	for _, name := range RealNames {
+		pts, err := Real(name, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, d, _ := RealSpec(name)
+		if len(pts) != 2000 {
+			t.Fatalf("%s: %d points, want 2000", name, len(pts))
+		}
+		for _, p := range pts {
+			if p.Dim() != d {
+				t.Fatalf("%s: dim %d, want %d", name, p.Dim(), d)
+			}
+			for _, x := range p {
+				if x <= 0 || x > 1 {
+					t.Fatalf("%s: value %v out of (0,1]", name, x)
+				}
+			}
+		}
+	}
+	if _, err := Real("bogus", 10); err == nil {
+		t.Fatal("expected error for unknown real dataset")
+	}
+}
+
+func TestIslandAnticorrelatedFrontier(t *testing.T) {
+	pts, err := Real(Island, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky := skyband.Skyline(pts)
+	if len(sky) < 10 {
+		t.Fatalf("Island skyline has %d points; the coastal arc should give a broad frontier", len(sky))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := Generate(Independent, 30, 3, 77)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pts) {
+		t.Fatalf("%d points back, want %d", len(back), len(pts))
+	}
+	for i := range pts {
+		if !pts[i].Equal(back[i], 0) {
+			t.Fatalf("point %d mismatch: %v vs %v", i, pts[i], back[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2,3\n")); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,x\n")); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+	pts, err := ReadCSV(strings.NewReader(""))
+	if err != nil || pts != nil {
+		t.Fatalf("empty input: %v %v", pts, err)
+	}
+}

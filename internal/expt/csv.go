@@ -1,0 +1,67 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV emits the table in machine-readable form for external plotting:
+// one row per parameter value, one column per algorithm (seconds; empty for
+// skipped cells) followed by the extra series.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	var algos []string
+	seen := map[string]bool{}
+	extras := map[string]bool{}
+	for _, r := range t.Rows {
+		for _, c := range r.Cells {
+			if !seen[c.Algo] {
+				seen[c.Algo] = true
+				algos = append(algos, c.Algo)
+			}
+		}
+		for k := range r.Extra {
+			extras[k] = true
+		}
+	}
+	var extraCols []string
+	for k := range extras {
+		extraCols = append(extraCols, k)
+	}
+	sort.Strings(extraCols)
+
+	head := append([]string{t.ParamCol}, algos...)
+	head = append(head, extraCols...)
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		row := []string{r.Param}
+		byAlgo := map[string]Cell{}
+		for _, c := range r.Cells {
+			byAlgo[c.Algo] = c
+		}
+		for _, a := range algos {
+			c, ok := byAlgo[a]
+			if !ok || c.Skipped {
+				row = append(row, "")
+			} else {
+				row = append(row, fmt.Sprintf("%g", c.Seconds))
+			}
+		}
+		for _, e := range extraCols {
+			if v, ok := r.Extra[e]; ok {
+				row = append(row, fmt.Sprintf("%g", v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

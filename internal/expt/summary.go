@@ -1,0 +1,90 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Speedup aggregates, across a table's rows, how much faster a reference
+// algorithm is than each competitor (geometric mean of per-row ratios over
+// the rows where both completed).
+type Speedup struct {
+	Reference string
+	Versus    string
+	Factor    float64 // geometric mean of versus/reference times
+	Rows      int     // rows where both algorithms completed
+	Skipped   int     // rows where the competitor blew a budget
+}
+
+// Summarize computes speedups of reference against every other algorithm
+// appearing in the table.
+func Summarize(t *Table, reference string) []Speedup {
+	times := map[string][]float64{} // algo -> per-row seconds (NaN = skipped)
+	var order []string
+	for _, r := range t.Rows {
+		byAlgo := map[string]Cell{}
+		for _, c := range r.Cells {
+			byAlgo[c.Algo] = c
+			if _, ok := times[c.Algo]; !ok {
+				order = append(order, c.Algo)
+			}
+			_ = byAlgo
+		}
+		for _, a := range order {
+			c, ok := byAlgo[a]
+			switch {
+			case !ok || c.Skipped:
+				times[a] = append(times[a], math.NaN())
+			default:
+				times[a] = append(times[a], c.Seconds)
+			}
+		}
+	}
+	ref, ok := times[reference]
+	if !ok {
+		return nil
+	}
+	var out []Speedup
+	for _, a := range order {
+		if a == reference {
+			continue
+		}
+		sp := Speedup{Reference: reference, Versus: a}
+		logSum := 0.0
+		for i, v := range times[a] {
+			switch {
+			case math.IsNaN(v):
+				sp.Skipped++
+			case i < len(ref) && !math.IsNaN(ref[i]) && ref[i] > 0 && v > 0:
+				logSum += math.Log(v / ref[i])
+				sp.Rows++
+			}
+		}
+		if sp.Rows > 0 {
+			sp.Factor = math.Exp(logSum / float64(sp.Rows))
+		}
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Versus < out[b].Versus })
+	return out
+}
+
+// PrintSummary writes the speedup lines for a table.
+func PrintSummary(w io.Writer, t *Table, reference string) {
+	for _, sp := range Summarize(t, reference) {
+		if sp.Rows == 0 {
+			fmt.Fprintf(w, "%s: %s vs %s: no comparable rows (%d over budget)\n",
+				t.ID, sp.Reference, sp.Versus, sp.Skipped)
+			continue
+		}
+		if sp.Factor >= 1 {
+			fmt.Fprintf(w, "%s: %s is %.1f× faster than %s (geo-mean over %d rows; %d rows over budget)\n",
+				t.ID, sp.Reference, sp.Factor, sp.Versus, sp.Rows, sp.Skipped)
+		} else {
+			fmt.Fprintf(w, "%s: %s is %.1f× slower than %s (geo-mean over %d rows; %d rows over budget)\n",
+				t.ID, sp.Reference, 1/sp.Factor, sp.Versus, sp.Rows, sp.Skipped)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package geom implements the computational geometry substrate for the
+// reverse regret query: hyper-planes through the origin, convex cells
+// (partitions) of the utility simplex with incremental extreme-point
+// maintenance, relationship tests between cells and hyper-planes
+// (paper Lemmas 5.1, 5.4, 5.5), and Monte-Carlo region measure.
+//
+// The utility space U is the standard (d−1)-simplex
+// {u ∈ R^d : u[i] ≥ 0, Σu[i] = 1}. All cells live inside U. Distances
+// used for sphere tests are measured inside the affine hull of U, which is
+// why every Hyperplane caches the norm of its normal's tangent-space
+// projection.
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"rrq/internal/vec"
+)
+
+// Tol is the geometric tolerance used for side classification.
+const Tol = 1e-9
+
+// Side constants for point-vs-plane classification.
+const (
+	SideNeg = -1 // u·w < 0
+	SideOn  = 0  // |u·w| ≤ tol
+	SidePos = +1 // u·w > 0
+)
+
+// Hyperplane is a hyper-plane through the origin, {u : u·Normal = 0}.
+// The positive half-space is {u : u·Normal > 0}.
+//
+// ID must be unique among all hyper-planes inserted into the same cell
+// lineage (arrangement); it feeds the tight-constraint bookkeeping that
+// drives edge detection during cuts. Use the index of the source point.
+type Hyperplane struct {
+	Normal vec.Vec
+	ID     int
+
+	tangentNorm float64 // ‖Normal − mean(Normal)·1‖, lazily via New
+	offsetMean  float64 // mean(Normal): value of u·Normal when tangent part is 0
+	unit        vec.Vec // Normal / ‖Normal‖
+}
+
+// NewHyperplane builds a hyper-plane from a (non-zero) normal. The normal
+// is stored unit-length so that side tolerances are scale-free. It panics
+// on a zero normal; callers must filter degenerate planes (q = (1−ε)p)
+// before construction.
+func NewHyperplane(normal vec.Vec, id int) Hyperplane {
+	n := normal.Norm()
+	if n < vec.Eps {
+		panic("geom: hyperplane with zero normal")
+	}
+	u := normal.Scale(1 / n)
+	return Hyperplane{
+		Normal:      u,
+		ID:          id,
+		tangentNorm: u.TangentPart().Norm(),
+		offsetMean:  u.Mean(),
+		unit:        u,
+	}
+}
+
+// Unit returns the unit normal of h.
+func (h Hyperplane) Unit() vec.Vec { return h.unit }
+
+// Eval returns u·Normal, the signed (scaled) offset of u from the plane.
+func (h Hyperplane) Eval(u vec.Vec) float64 { return u.Dot(h.Normal) }
+
+// Side classifies u against the plane with tolerance Tol.
+func (h Hyperplane) Side(u vec.Vec) int { return vec.Sign(h.Eval(u), Tol) }
+
+// ParallelToHull reports whether the plane is parallel to the affine hull
+// of the simplex (its tangent projection vanishes). Such a plane does not
+// intersect U: every simplex point evaluates to offsetMean.
+func (h Hyperplane) ParallelToHull() bool { return h.tangentNorm < vec.Eps }
+
+// HullSide returns the side of the whole utility space for a plane that is
+// parallel to the hull.
+func (h Hyperplane) HullSide() int { return vec.Sign(h.offsetMean, Tol) }
+
+// AffineDist returns the signed Euclidean distance, measured inside the
+// affine hull of the simplex, from a point c (with Σc = 1) to the plane.
+// Positive values mean c lies in the positive half-space.
+func (h Hyperplane) AffineDist(c vec.Vec) float64 {
+	if h.ParallelToHull() {
+		if h.offsetMean >= 0 {
+			return math.Inf(1)
+		}
+		return math.Inf(-1)
+	}
+	return h.Eval(c) / h.tangentNorm
+}
+
+func (h Hyperplane) String() string {
+	return fmt.Sprintf("h#%d%v", h.ID, h.Normal)
+}
+
+// QueryPlane builds the RRQ hyper-plane h_{q,p} with normal q − (1−ε)·p
+// (paper §3.2). ok is false when the normal is numerically zero, i.e.
+// q = (1−ε)p; such planes put every utility vector on the boundary and are
+// treated by callers as "never negative".
+func QueryPlane(q, p vec.Vec, eps float64, id int) (h Hyperplane, ok bool) {
+	w := q.AddScaled(-(1 - eps), p)
+	if w.Norm() < vec.Eps {
+		return Hyperplane{}, false
+	}
+	return NewHyperplane(w, id), true
+}

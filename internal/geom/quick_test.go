@@ -1,0 +1,187 @@
+package geom
+
+// Property-based tests (testing/quick) on the core geometric structures.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rrq/internal/vec"
+)
+
+// normalize4 maps arbitrary quick-generated floats into a usable normal.
+func normal4(a [4]float64) (vec.Vec, bool) {
+	v := vec.New(4)
+	for i, x := range a {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, false
+		}
+		v[i] = math.Mod(x, 10)
+	}
+	if v.Norm() < 1e-6 {
+		return nil, false
+	}
+	return v, true
+}
+
+// Property: Side is antisymmetric under normal negation.
+func TestQuickSideAntisymmetry(t *testing.T) {
+	f := func(a [4]float64, b [4]float64) bool {
+		w, ok := normal4(a)
+		if !ok {
+			return true
+		}
+		u, ok := normal4(b)
+		if !ok {
+			return true
+		}
+		h := NewHyperplane(w, 0)
+		hn := NewHyperplane(w.Scale(-1), 1)
+		return h.Side(u) == -hn.Side(u)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AffineDist sign agrees with Side for simplex points, and the
+// magnitude is invariant under positive scaling of the original normal.
+func TestQuickAffineDistScaleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(a [4]float64, scale float64) bool {
+		w, ok := normal4(a)
+		if !ok {
+			return true
+		}
+		s := math.Abs(math.Mod(scale, 100))
+		if s < 1e-3 {
+			return true
+		}
+		h1 := NewHyperplane(w, 0)
+		h2 := NewHyperplane(w.Scale(s), 1)
+		if h1.ParallelToHull() {
+			return true
+		}
+		u := vec.RandSimplex(rng, 4)
+		d1, d2 := h1.AffineDist(u), h2.AffineDist(u)
+		return math.Abs(d1-d2) < 1e-7
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any random cut sequence, Contains agrees between a cell and
+// the union of its two Split halves.
+func TestQuickSplitPreservesMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(a [4]float64) bool {
+		w, ok := normal4(a)
+		if !ok {
+			return true
+		}
+		cell := NewSimplex(4)
+		h := NewHyperplane(w, 0)
+		if cell.Relation(h) != RelCross {
+			return true
+		}
+		neg, pos := cell.Split(h)
+		for i := 0; i < 30; i++ {
+			u := vec.RandSimplex(rng, 4)
+			inParts := (neg != nil && neg.Contains(u)) || (pos != nil && pos.Contains(u))
+			if !inParts {
+				return false // the halves must cover the simplex
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inner radius ≤ outer radius for any cell reachable by cuts.
+func TestQuickSphereOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seeds [3][4]float64) bool {
+		cell := NewSimplex(4)
+		for i, a := range seeds {
+			w, ok := normal4(a)
+			if !ok {
+				continue
+			}
+			h := NewHyperplane(w, i)
+			if cell.Relation(h) != RelCross {
+				continue
+			}
+			neg, pos := cell.Split(h)
+			if rng.Intn(2) == 0 && neg != nil {
+				cell = neg
+			} else if pos != nil {
+				cell = pos
+			}
+		}
+		return cell.InnerRadius() <= cell.OuterRadius()+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the inner ball is inside the cell: points at distance < innerR
+// from the center along any tangent direction stay inside.
+func TestQuickInnerBallInside(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 150; trial++ {
+		cell := NewSimplex(4)
+		for cut := 0; cut < 4; cut++ {
+			w := vec.New(4)
+			for i := range w {
+				w[i] = rng.NormFloat64()
+			}
+			if w.Norm() < 1e-6 {
+				continue
+			}
+			h := NewHyperplane(w, cut)
+			if cell.Relation(h) != RelCross {
+				continue
+			}
+			neg, pos := cell.Split(h)
+			if rng.Intn(2) == 0 && neg != nil {
+				cell = neg
+			} else if pos != nil {
+				cell = pos
+			}
+		}
+		r := cell.InnerRadius()
+		if r <= 1e-9 {
+			continue
+		}
+		c := cell.Center()
+		for i := 0; i < 10; i++ {
+			// Random tangent direction (sums to zero).
+			dir := vec.New(4)
+			for j := range dir {
+				dir[j] = rng.NormFloat64()
+			}
+			dir = dir.TangentPart()
+			if dir.Norm() < 1e-9 {
+				continue
+			}
+			p := c.AddScaled(0.95*r/dir.Norm(), dir)
+			if !cell.Contains(p) {
+				t.Fatalf("inner-ball point %v escaped the cell (r=%v)", p, r)
+			}
+			// The ball must stay on the simplex too.
+			if !vec.OnSimplex(p, 1e-6) {
+				t.Fatalf("inner-ball point %v left the simplex", p)
+			}
+		}
+	}
+}

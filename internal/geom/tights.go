@@ -1,0 +1,100 @@
+package geom
+
+import "sort"
+
+// tightSet is a sorted slice of constraint identifiers that are tight
+// (satisfied with equality) at a vertex. Identifiers 0..d−1 denote the
+// simplex bounds u[i] ≥ 0; a cut by hyper-plane h contributes d + h.ID.
+type tightSet []int32
+
+func newTightSet(ids ...int32) tightSet {
+	s := append(tightSet(nil), ids...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+// has reports membership.
+func (s tightSet) has(id int32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	return i < len(s) && s[i] == id
+}
+
+// with returns s ∪ {id} (s unchanged).
+func (s tightSet) with(id int32) tightSet {
+	if s.has(id) {
+		return append(tightSet(nil), s...)
+	}
+	out := make(tightSet, 0, len(s)+1)
+	inserted := false
+	for _, x := range s {
+		if !inserted && id < x {
+			out = append(out, id)
+			inserted = true
+		}
+		out = append(out, x)
+	}
+	if !inserted {
+		out = append(out, id)
+	}
+	return out
+}
+
+// intersectCount returns |s ∩ t| for two sorted sets.
+func (s tightSet) intersectCount(t tightSet) int {
+	i, j, n := 0, 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// intersect returns s ∩ t as a new sorted set.
+func (s tightSet) intersect(t tightSet) tightSet {
+	out := make(tightSet, 0, min(len(s), len(t)))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// union returns s ∪ t as a new sorted set.
+func (s tightSet) union(t tightSet) tightSet {
+	out := make(tightSet, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}

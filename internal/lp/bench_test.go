@@ -1,0 +1,30 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+
+	"rrq/internal/vec"
+)
+
+func BenchmarkSimplexRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{4, 16, 64} {
+		normals := make([]vec.Vec, m)
+		signs := make([]int, m)
+		for i := range normals {
+			w := vec.New(4)
+			for j := range w {
+				w[j] = rng.NormFloat64()
+			}
+			normals[i] = w
+			signs[i] = 1 - 2*(i%2)
+		}
+		obj := vec.Of(1, -1, 0.5, -0.5)
+		b.Run(map[int]string{4: "m=4", 16: "m=16", 64: "m=64"}[m], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SimplexRange(4, normals, signs, obj)
+			}
+		})
+	}
+}

@@ -1,0 +1,312 @@
+// Package lp implements a dense two-phase primal simplex solver for small
+// linear programs. It is the substrate for the LP-CTA baseline (which, per
+// the paper, checks hyper-plane/partition relationships by solving linear
+// programs) and serves as an independent oracle for the geometry package in
+// tests.
+//
+// The solver handles the standard form
+//
+//	minimize    c·x
+//	subject to  Aub·x ≤ bub
+//	            Aeq·x = beq
+//	            x ≥ 0
+//
+// using Bland's rule for anti-cycling. Problem sizes in this repository are
+// tiny (tens of variables and constraints), so a dense tableau is the right
+// tool.
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"rrq/internal/vec"
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal: an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraint set is empty.
+	Infeasible
+	// Unbounded: the objective is unbounded below on the feasible set.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unbounded"
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	X         vec.Vec // primal solution (valid only when Status == Optimal)
+	Objective float64 // c·X (valid only when Status == Optimal)
+}
+
+const (
+	tol      = 1e-9
+	maxIters = 10000
+)
+
+// Minimize solves min c·x s.t. Aub·x ≤ bub, Aeq·x = beq, x ≥ 0.
+// Either constraint family may be nil.
+func Minimize(c vec.Vec, aub [][]float64, bub []float64, aeq [][]float64, beq []float64) Solution {
+	n := len(c)
+	if len(aub) != len(bub) || len(aeq) != len(beq) {
+		panic("lp: constraint matrix/vector size mismatch")
+	}
+	mU, mE := len(aub), len(aeq)
+	m := mU + mE
+	if m == 0 {
+		// Only x ≥ 0: optimum is at the origin unless some c[j] < 0.
+		for _, cj := range c {
+			if cj < -tol {
+				return Solution{Status: Unbounded}
+			}
+		}
+		return Solution{Status: Optimal, X: vec.New(n)}
+	}
+
+	// Build equalities with slacks: [A | S] x' = b, all b ≥ 0.
+	total := n + mU // structural + slack variables
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := 0; i < mU; i++ {
+		row := make([]float64, total)
+		copy(row, aub[i])
+		row[n+i] = 1
+		bi := bub[i]
+		if bi < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			bi = -bi
+		}
+		a[i], b[i] = row, bi
+	}
+	for i := 0; i < mE; i++ {
+		row := make([]float64, total)
+		copy(row, aeq[i])
+		bi := beq[i]
+		if bi < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			bi = -bi
+		}
+		a[mU+i], b[mU+i] = row, bi
+	}
+
+	t := newTableau(a, b, total)
+
+	// Phase 1: minimize the sum of artificial variables.
+	if !t.phase1() {
+		return Solution{Status: Infeasible}
+	}
+
+	// Phase 2: minimize the true objective.
+	obj := make([]float64, t.cols)
+	copy(obj, c) // slacks and artificials cost 0
+	switch t.phase2(obj) {
+	case Unbounded:
+		return Solution{Status: Unbounded}
+	}
+	x := t.extract(n)
+	return Solution{Status: Optimal, X: x, Objective: x.Dot(c)}
+}
+
+// Maximize solves max c·x over the same constraint set.
+func Maximize(c vec.Vec, aub [][]float64, bub []float64, aeq [][]float64, beq []float64) Solution {
+	neg := c.Scale(-1)
+	s := Minimize(neg, aub, bub, aeq, beq)
+	if s.Status == Optimal {
+		s.Objective = -s.Objective
+	}
+	return s
+}
+
+// tableau is a dense simplex tableau over columns
+// [structural+slack | artificial], one artificial per row.
+type tableau struct {
+	rows  int
+	cols  int // structural + slack columns (artificials live beyond)
+	nArt  int
+	a     [][]float64 // rows × (cols + nArt)
+	b     []float64
+	basis []int // basic variable of each row
+}
+
+func newTableau(a [][]float64, b []float64, cols int) *tableau {
+	m := len(a)
+	t := &tableau{rows: m, cols: cols, nArt: m, b: append([]float64(nil), b...)}
+	t.a = make([][]float64, m)
+	t.basis = make([]int, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols+m)
+		copy(row, a[i])
+		row[cols+i] = 1
+		t.a[i] = row
+		t.basis[i] = cols + i
+	}
+	return t
+}
+
+// phase1 drives the artificial variables to zero. Returns false when the
+// problem is infeasible.
+func (t *tableau) phase1() bool {
+	// Objective: minimize sum of artificials. Reduced cost row z starts as
+	// −Σ rows (since artificials are basic with cost 1).
+	z := make([]float64, t.cols+t.nArt)
+	z0 := 0.0
+	for j := 0; j < t.cols; j++ {
+		var s float64
+		for i := 0; i < t.rows; i++ {
+			s += t.a[i][j]
+		}
+		z[j] = -s
+	}
+	for i := 0; i < t.rows; i++ {
+		z0 -= t.b[i]
+	}
+	if st := t.iterate(z, &z0); st == Unbounded {
+		// Phase-1 objective is bounded below by 0; unbounded is impossible
+		// unless numerics break. Treat as infeasible.
+		return false
+	}
+	if -z0 > 1e-7 { // optimum of Σ artificials
+		return false
+	}
+	// Drive any remaining basic artificials out.
+	for i := 0; i < t.rows; i++ {
+		if t.basis[i] < t.cols {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.cols; j++ {
+			if math.Abs(t.a[i][j]) > tol {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it out; the artificial stays basic at 0.
+			t.b[i] = 0
+		}
+	}
+	return true
+}
+
+// phase2 minimizes obj over the current feasible basis.
+func (t *tableau) phase2(obj []float64) Status {
+	z := make([]float64, t.cols+t.nArt)
+	copy(z, obj)
+	// Make reduced costs of basic variables zero.
+	z0 := 0.0
+	for i, bv := range t.basis {
+		cb := 0.0
+		if bv < len(obj) {
+			cb = obj[bv]
+		}
+		if cb == 0 {
+			continue
+		}
+		for j := range z {
+			z[j] -= cb * t.a[i][j]
+		}
+		z0 -= cb * t.b[i]
+	}
+	// Forbid artificials from re-entering.
+	for j := t.cols; j < t.cols+t.nArt; j++ {
+		if z[j] < 0 {
+			z[j] = 0
+		}
+	}
+	return t.iterate(z, &z0)
+}
+
+// iterate runs Bland-rule simplex pivots until optimality or unboundedness.
+func (t *tableau) iterate(z []float64, z0 *float64) Status {
+	for iter := 0; iter < maxIters; iter++ {
+		// Entering: first column with negative reduced cost (Bland).
+		enter := -1
+		for j := 0; j < t.cols; j++ { // artificials never re-enter
+			if z[j] < -tol {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		// Leaving: min ratio, ties by smallest basic variable (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.rows; i++ {
+			aij := t.a[i][enter]
+			if aij > tol {
+				r := t.b[i] / aij
+				if r < best-tol || (r < best+tol && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					best = r
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+		// Update reduced costs.
+		f := z[enter]
+		if f != 0 {
+			for j := range z {
+				z[j] -= f * t.a[leave][j]
+			}
+			*z0 -= f * t.b[leave]
+		}
+	}
+	panic(fmt.Sprintf("lp: simplex did not converge in %d iterations", maxIters))
+}
+
+func (t *tableau) pivot(r, c int) {
+	p := t.a[r][c]
+	inv := 1 / p
+	for j := range t.a[r] {
+		t.a[r][j] *= inv
+	}
+	t.b[r] *= inv
+	for i := 0; i < t.rows; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][c]
+		if f == 0 {
+			continue
+		}
+		for j := range t.a[i] {
+			t.a[i][j] -= f * t.a[r][j]
+		}
+		t.b[i] -= f * t.b[r]
+	}
+	t.basis[r] = c
+}
+
+func (t *tableau) extract(n int) vec.Vec {
+	x := vec.New(n)
+	for i, bv := range t.basis {
+		if bv < n {
+			x[bv] = t.b[i]
+		}
+	}
+	return x
+}

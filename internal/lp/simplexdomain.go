@@ -1,0 +1,66 @@
+package lp
+
+import "rrq/internal/vec"
+
+// SimplexRange computes the minimum and maximum of obj·u over the cell
+//
+//	{u ∈ R^d : u ≥ 0, Σu = 1, signs[j]·(u·normals[j]) ≥ 0 ∀j}
+//
+// which is exactly how the utility-space partitions of the paper are
+// described. feasible is false when the cell is empty.
+func SimplexRange(d int, normals []vec.Vec, signs []int, obj vec.Vec) (lo, hi float64, feasible bool) {
+	if len(normals) != len(signs) {
+		panic("lp: normals/signs length mismatch")
+	}
+	aub := make([][]float64, 0, len(normals))
+	bub := make([]float64, 0, len(normals))
+	for j, w := range normals {
+		row := make([]float64, d)
+		for i, x := range w {
+			// signs[j]·(u·w) ≥ 0  ⇔  −signs[j]·(u·w) ≤ 0
+			row[i] = -float64(signs[j]) * x
+		}
+		aub = append(aub, row)
+		bub = append(bub, 0)
+	}
+	ones := make([]float64, d)
+	for i := range ones {
+		ones[i] = 1
+	}
+	aeq := [][]float64{ones}
+	beq := []float64{1}
+
+	minS := Minimize(obj, aub, bub, aeq, beq)
+	if minS.Status != Optimal {
+		return 0, 0, false
+	}
+	maxS := Maximize(obj, aub, bub, aeq, beq)
+	if maxS.Status != Optimal {
+		return 0, 0, false
+	}
+	return minS.Objective, maxS.Objective, true
+}
+
+// SimplexFeasible reports whether the cell described by (normals, signs)
+// intersects the utility simplex, and returns a witness point when it does.
+func SimplexFeasible(d int, normals []vec.Vec, signs []int) (vec.Vec, bool) {
+	aub := make([][]float64, 0, len(normals))
+	bub := make([]float64, 0, len(normals))
+	for j, w := range normals {
+		row := make([]float64, d)
+		for i, x := range w {
+			row[i] = -float64(signs[j]) * x
+		}
+		aub = append(aub, row)
+		bub = append(bub, 0)
+	}
+	ones := make([]float64, d)
+	for i := range ones {
+		ones[i] = 1
+	}
+	s := Minimize(vec.New(d), aub, bub, [][]float64{ones}, []float64{1})
+	if s.Status != Optimal {
+		return nil, false
+	}
+	return s.X, true
+}

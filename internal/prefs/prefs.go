@@ -1,0 +1,122 @@
+// Package prefs implements adaptive utility learning by pairwise
+// comparisons, in the spirit of Qian et al. (VLDB 2015) — the "Adaptive"
+// algorithm the paper's user study (§6.2) uses to elicit each participant's
+// utility function.
+//
+// The learner maintains the polytope of utility vectors consistent with the
+// answers so far (a cell of the utility simplex) and greedily asks the
+// comparison whose separating hyper-plane most evenly bisects the current
+// polytope, shrinking it fastest. The final estimate is the centroid of the
+// surviving polytope.
+package prefs
+
+import (
+	"math/rand"
+
+	"rrq/internal/geom"
+	"rrq/internal/vec"
+)
+
+// Oracle answers pairwise comparisons: it returns true when the user
+// prefers a to b.
+type Oracle func(a, b vec.Vec) bool
+
+// TrueUtilityOracle builds an oracle for a simulated user with a known
+// utility vector.
+func TrueUtilityOracle(u vec.Vec) Oracle {
+	return func(a, b vec.Vec) bool { return u.Dot(a) > u.Dot(b) }
+}
+
+// Options tunes the learner.
+type Options struct {
+	// Rounds is the number of comparisons to ask. Default 12.
+	Rounds int
+	// Candidates is how many random pairs are scored per round before the
+	// most balanced one is asked. Default 24.
+	Candidates int
+	// BalanceSamples is how many points are drawn from the current
+	// polytope to score a candidate pair. Default 32.
+	BalanceSamples int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rounds <= 0 {
+		o.Rounds = 12
+	}
+	if o.Candidates <= 0 {
+		o.Candidates = 24
+	}
+	if o.BalanceSamples <= 0 {
+		o.BalanceSamples = 32
+	}
+	return o
+}
+
+// Learn elicits a utility vector over the items by asking the oracle
+// adaptive pairwise comparisons. It returns the centroid of the consistent
+// polytope after Options.Rounds questions.
+func Learn(items []vec.Vec, oracle Oracle, opt Options, rng *rand.Rand) vec.Vec {
+	if len(items) < 2 {
+		if len(items) == 1 {
+			return vec.SimplexCenter(items[0].Dim())
+		}
+		panic("prefs: need at least one item")
+	}
+	opt = opt.withDefaults()
+	d := items[0].Dim()
+	cell := geom.NewSimplex(d)
+	planeID := 0
+
+	for round := 0; round < opt.Rounds; round++ {
+		samples := make([]vec.Vec, opt.BalanceSamples)
+		for i := range samples {
+			samples[i] = cell.SamplePoint(rng)
+		}
+		bestI, bestJ := -1, -1
+		var bestH geom.Hyperplane
+		bestScore := 2.0 // worse than any reachable |balance − 0.5| ≤ 0.5
+		for c := 0; c < opt.Candidates; c++ {
+			i, j := rng.Intn(len(items)), rng.Intn(len(items))
+			if i == j {
+				continue
+			}
+			w := items[i].Sub(items[j])
+			if w.Norm() < vec.Eps {
+				continue
+			}
+			planeID++
+			h := geom.NewHyperplane(w, planeID)
+			if cell.Relation(h) != geom.RelCross {
+				continue // answer already implied; no information
+			}
+			pos := 0
+			for _, s := range samples {
+				if h.Eval(s) > 0 {
+					pos++
+				}
+			}
+			bal := float64(pos)/float64(len(samples)) - 0.5
+			if bal < 0 {
+				bal = -bal
+			}
+			if bal < bestScore {
+				bestScore, bestI, bestJ, bestH = bal, i, j, h
+			}
+		}
+		if bestI < 0 {
+			break // every candidate pair is already decided by the polytope
+		}
+		sign := -1
+		if oracle(items[bestI], items[bestJ]) {
+			sign = +1
+		}
+		next := cell.Clip(bestH, sign)
+		if next == nil {
+			// The oracle contradicted the polytope (noisy user); keep the
+			// current polytope rather than collapsing to nothing.
+			continue
+		}
+		cell = next
+	}
+	return cell.Center()
+}

@@ -1,0 +1,119 @@
+package prefs
+
+import (
+	"math/rand"
+	"testing"
+
+	"rrq/internal/dataset"
+	"rrq/internal/topk"
+	"rrq/internal/vec"
+)
+
+func l1(a, b vec.Vec) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+func TestLearnRecoversUtility(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := dataset.Generate(dataset.Independent, 150, 3, 11)
+	for trial := 0; trial < 10; trial++ {
+		truth := vec.RandSimplex(rng, 3)
+		est := Learn(items, TrueUtilityOracle(truth), Options{Rounds: 25}, rng)
+		if !vec.OnSimplex(est, 1e-6) {
+			t.Fatalf("estimate %v off simplex", est)
+		}
+		if d := l1(truth, est); d > 0.45 {
+			t.Fatalf("trial %d: estimate %v too far from truth %v (L1=%v)", trial, est, truth, d)
+		}
+	}
+}
+
+func TestLearnImprovesWithRounds(t *testing.T) {
+	items := dataset.Generate(dataset.Independent, 150, 4, 12)
+	avgErr := func(rounds int) float64 {
+		rng := rand.New(rand.NewSource(55))
+		var total float64
+		const trials = 12
+		for i := 0; i < trials; i++ {
+			truth := vec.RandSimplex(rng, 4)
+			est := Learn(items, TrueUtilityOracle(truth), Options{Rounds: rounds}, rng)
+			total += l1(truth, est)
+		}
+		return total / trials
+	}
+	few, many := avgErr(3), avgErr(30)
+	if many > few {
+		t.Fatalf("more comparisons should not hurt: 3 rounds → %.4f, 30 rounds → %.4f", few, many)
+	}
+}
+
+func TestLearnTopChoiceUsuallyAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	items := dataset.Generate(dataset.Independent, 200, 3, 13)
+	agreeTop5 := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		truth := vec.RandSimplex(rng, 3)
+		est := Learn(items, TrueUtilityOracle(truth), Options{Rounds: 20}, rng)
+		trueTop := topk.TopKIndices(items, truth, 1)[0]
+		estTop5 := topk.TopKIndices(items, est, 5)
+		for _, i := range estTop5 {
+			if i == trueTop {
+				agreeTop5++
+				break
+			}
+		}
+	}
+	if agreeTop5 < trials*6/10 {
+		t.Fatalf("learned top-5 contained the true favourite only %d/%d times", agreeTop5, trials)
+	}
+}
+
+func TestLearnDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Single item: center returned.
+	est := Learn([]vec.Vec{vec.Of(0.5, 0.5)}, nil, Options{}, rng)
+	if !est.Equal(vec.SimplexCenter(2), 1e-12) {
+		t.Fatalf("single-item estimate %v", est)
+	}
+	// Identical items: no informative pair exists; must not loop or panic.
+	p := vec.Of(0.4, 0.6)
+	est = Learn([]vec.Vec{p, p.Clone(), p.Clone()}, TrueUtilityOracle(vec.Of(0.9, 0.1)), Options{Rounds: 5}, rng)
+	if !vec.OnSimplex(est, 1e-9) {
+		t.Fatalf("estimate %v off simplex", est)
+	}
+}
+
+func TestLearnEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Learn(nil, nil, Options{}, rand.New(rand.NewSource(1)))
+}
+
+// A noisy oracle must not collapse the polytope to nothing.
+func TestLearnNoisyOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := dataset.Generate(dataset.Independent, 100, 3, 17)
+	truth := vec.RandSimplex(rng, 3)
+	noisy := func(a, b vec.Vec) bool {
+		if rng.Float64() < 0.25 {
+			return rng.Intn(2) == 0
+		}
+		return truth.Dot(a) > truth.Dot(b)
+	}
+	est := Learn(items, noisy, Options{Rounds: 25}, rng)
+	if !vec.OnSimplex(est, 1e-6) {
+		t.Fatalf("estimate %v off simplex", est)
+	}
+}

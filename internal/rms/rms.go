@@ -1,0 +1,130 @@
+// Package rms implements the regret-minimizing set operator of Nanongkai
+// et al. (VLDB 2010), the forward counterpart of the reverse regret query:
+// select r representative products so that every customer finds, inside the
+// selection, a product scoring within a small factor of their favourite in
+// the whole market. The reverse regret query asks "who likes this product";
+// RMS asks "which products keep everyone happy" — together they make the
+// regret toolbox the paper's related-work section surveys.
+//
+// The maximum regret ratio of a selection is computed exactly with the
+// linear-programming substrate: for a fixed market product p,
+//
+//	maximize  δ
+//	s.t.      u·s ≥ u·p·(1−δ) is nonlinear, so the standard reformulation
+//	          fixes the scale u·p = 1 and solves
+//	          maximize δ  s.t.  u·s ≤ 1 − δ ∀ s ∈ S,  u·p = 1,  u ≥ 0
+//
+// whose optimum is exactly max_u (f_u(p) − max_{s∈S} f_u(s)) / f_u(p).
+package rms
+
+import (
+	"fmt"
+	"math"
+
+	"rrq/internal/lp"
+	"rrq/internal/skyband"
+	"rrq/internal/vec"
+)
+
+// MaxRegretRatio computes mrr(S) = max over the market and the utility
+// space of the relative loss a customer suffers by shopping only in S.
+// Returns 0 when S already contains a best product for every preference.
+func MaxRegretRatio(market []vec.Vec, sel []vec.Vec) float64 {
+	worst := 0.0
+	for _, p := range market {
+		if d := regretAgainst(p, sel); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// regretAgainst solves the LP for one market product p: the largest δ such
+// that some preference scores p at 1 while every selected product scores at
+// most 1−δ.
+func regretAgainst(p vec.Vec, sel []vec.Vec) float64 {
+	d := p.Dim()
+	// Variables: u[0..d-1], δ. Maximize δ.
+	nv := d + 1
+	obj := vec.New(nv)
+	obj[d] = 1
+	var aub [][]float64
+	var bub []float64
+	for _, s := range sel {
+		// u·s + δ ≤ 1.
+		row := make([]float64, nv)
+		copy(row, s)
+		row[d] = 1
+		aub = append(aub, row)
+		bub = append(bub, 1)
+	}
+	// δ ≤ 1 keeps the problem bounded even for an empty selection.
+	capRow := make([]float64, nv)
+	capRow[d] = 1
+	aub = append(aub, capRow)
+	bub = append(bub, 1)
+	// u·p = 1.
+	eqRow := make([]float64, nv)
+	copy(eqRow, p)
+	aeq := [][]float64{eqRow}
+	beq := []float64{1}
+
+	sol := lp.Maximize(obj, aub, bub, aeq, beq)
+	if sol.Status != lp.Optimal {
+		// u·p = 1 is infeasible only when p is the zero vector; no
+		// preference scores it, so it causes no regret.
+		return 0
+	}
+	if sol.Objective < 0 {
+		return 0
+	}
+	return math.Min(sol.Objective, 1)
+}
+
+// Greedy selects r products with the classical greedy strategy: start from
+// the product best for the "sum" preference, then repeatedly add the
+// product that currently inflicts the largest regret. Only skyline products
+// are ever needed. It returns the selected indices (into market order) and
+// the final maximum regret ratio.
+func Greedy(market []vec.Vec, r int) ([]int, float64, error) {
+	if len(market) == 0 {
+		return nil, 0, fmt.Errorf("rms: empty market")
+	}
+	if r < 1 {
+		return nil, 0, fmt.Errorf("rms: selection size %d < 1", r)
+	}
+	sky := skyband.Skyline(market)
+	if r > len(sky) {
+		r = len(sky)
+	}
+	// Seed: the skyline product with the largest attribute sum.
+	best, bestSum := sky[0], math.Inf(-1)
+	for _, i := range sky {
+		if s := market[i].Sum(); s > bestSum {
+			best, bestSum = i, s
+		}
+	}
+	selIdx := []int{best}
+	selPts := []vec.Vec{market[best]}
+	chosen := map[int]bool{best: true}
+
+	for len(selIdx) < r {
+		worstIdx, worstReg := -1, -1.0
+		for _, i := range sky {
+			if chosen[i] {
+				continue
+			}
+			reg := regretAgainst(market[i], selPts)
+			if reg > worstReg {
+				worstIdx, worstReg = i, reg
+			}
+		}
+		if worstIdx < 0 || worstReg <= 1e-12 {
+			break // selection already regret-free
+		}
+		selIdx = append(selIdx, worstIdx)
+		selPts = append(selPts, market[worstIdx])
+		chosen[worstIdx] = true
+	}
+	return selIdx, MaxRegretRatio(market, selPts), nil
+}

@@ -1,0 +1,149 @@
+package rms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rrq/internal/dataset"
+	"rrq/internal/topk"
+	"rrq/internal/vec"
+)
+
+func TestMaxRegretRatioFullSelection(t *testing.T) {
+	market := dataset.Generate(dataset.Independent, 60, 3, 1)
+	if mrr := MaxRegretRatio(market, market); mrr > 1e-9 {
+		t.Fatalf("selecting everything should give mrr 0, got %v", mrr)
+	}
+}
+
+func TestMaxRegretRatioSinglePoint(t *testing.T) {
+	// Market of two orthogonal specialists; selecting one leaves the other
+	// preference with a known regret.
+	market := []vec.Vec{vec.Of(1, 0.1), vec.Of(0.1, 1)}
+	sel := []vec.Vec{market[0]}
+	mrr := MaxRegretRatio(market, sel)
+	// At u = (0,1): best = 1, selected scores 0.1 → regret 0.9.
+	if math.Abs(mrr-0.9) > 1e-6 {
+		t.Fatalf("mrr = %v, want 0.9", mrr)
+	}
+}
+
+// The LP-based mrr must match a dense sampling estimate from below.
+func TestMaxRegretRatioMatchesSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		d := 2 + rng.Intn(3)
+		market := dataset.Generate(dataset.Independent, 40, d, int64(trial))
+		sel := []vec.Vec{market[0], market[1], market[2]}
+		exact := MaxRegretRatio(market, sel)
+		sampled := 0.0
+		for i := 0; i < 4000; i++ {
+			u := vec.RandSimplex(rng, d)
+			best := topk.KthMax(topk.Utilities(market, u), 1)
+			bestSel := topk.KthMax(topk.Utilities(sel, u), 1)
+			if best > 0 {
+				if r := (best - bestSel) / best; r > sampled {
+					sampled = r
+				}
+			}
+		}
+		if sampled > exact+1e-6 {
+			t.Fatalf("d=%d: sampled regret %v exceeds LP mrr %v", d, sampled, exact)
+		}
+		if exact-sampled > 0.15 {
+			t.Fatalf("d=%d: LP mrr %v far above sampled %v — suspicious", d, exact, sampled)
+		}
+	}
+}
+
+func TestGreedyMonotone(t *testing.T) {
+	market := dataset.Generate(dataset.Anticorrelated, 200, 3, 3)
+	prev := math.Inf(1)
+	for _, r := range []int{1, 2, 4, 8, 16} {
+		_, mrr, err := Greedy(market, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mrr > prev+1e-9 {
+			t.Fatalf("mrr increased with r: r=%d %v > %v", r, mrr, prev)
+		}
+		prev = mrr
+	}
+	if prev > 0.35 {
+		t.Fatalf("16 representatives still leave mrr %v; greedy is broken", prev)
+	}
+}
+
+func TestGreedySelectsSkylineOnly(t *testing.T) {
+	// A dominated point must never be selected.
+	market := []vec.Vec{
+		vec.Of(0.9, 0.9), // dominates everything below
+		vec.Of(0.5, 0.5),
+		vec.Of(0.4, 0.6),
+	}
+	sel, mrr, err := Greedy(market, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0] != 0 {
+		t.Fatalf("selection = %v, want just the dominating point", sel)
+	}
+	if mrr > 1e-9 {
+		t.Fatalf("mrr = %v, want 0", mrr)
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	if _, _, err := Greedy(nil, 1); err == nil {
+		t.Error("empty market accepted")
+	}
+	if _, _, err := Greedy([]vec.Vec{vec.Of(0.5, 0.5)}, 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+}
+
+func TestGreedyClampsToSkylineSize(t *testing.T) {
+	market := []vec.Vec{vec.Of(0.9, 0.1), vec.Of(0.1, 0.9), vec.Of(0.2, 0.2)}
+	sel, mrr, err := Greedy(market, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) > 2 {
+		t.Fatalf("selected %d, but the skyline has only 2 points", len(sel))
+	}
+	if mrr > 1e-9 {
+		t.Fatalf("full skyline selection should be regret-free, got %v", mrr)
+	}
+}
+
+// Duality with the reverse regret query: if the greedy selection has
+// maximum regret ratio mrr, then for ε > mrr every preference keeps some
+// selected product qualified — equivalently, the union of the selected
+// products' reverse-regret regions (k=1) covers the preference space.
+func TestRMSDualityWithRRQ(t *testing.T) {
+	market := dataset.Generate(dataset.Independent, 80, 3, 13)
+	sel, mrr, err := Greedy(market, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := mrr + 0.02
+	if eps >= 1 {
+		t.Skip("mrr too large for a meaningful duality check")
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		u := vec.RandSimplex(rng, 3)
+		best := topk.KthMax(topk.Utilities(market, u), 1)
+		covered := false
+		for _, idx := range sel {
+			if u.Dot(market[idx]) >= (1-eps)*best {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("preference %v uncovered at ε=%v despite mrr=%v", u, eps, mrr)
+		}
+	}
+}

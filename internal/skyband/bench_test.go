@@ -1,0 +1,24 @@
+package skyband
+
+import (
+	"math/rand"
+	"testing"
+
+	"rrq/internal/vec"
+)
+
+func BenchmarkKSkyband(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]vec.Vec, 20000)
+	for i := range pts {
+		pts[i] = vec.Of(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	for _, k := range []int{1, 10} {
+		name := map[int]string{1: "k=1", 10: "k=10"}[k]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				KSkyband(pts, k)
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package skyband
+
+// Property-based tests (testing/quick) on the dominance structure.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rrq/internal/vec"
+)
+
+func clean3(a [3]float64) (vec.Vec, bool) {
+	v := vec.New(3)
+	for i, x := range a {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, false
+		}
+		v[i] = math.Abs(math.Mod(x, 1))
+	}
+	return v, true
+}
+
+// Dominance is irreflexive and antisymmetric.
+func TestQuickDominanceAntisymmetric(t *testing.T) {
+	f := func(a, b [3]float64) bool {
+		p, ok := clean3(a)
+		if !ok {
+			return true
+		}
+		q, ok := clean3(b)
+		if !ok {
+			return true
+		}
+		if Dominates(p, p) {
+			return false
+		}
+		return !(Dominates(p, q) && Dominates(q, p))
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Dominance is transitive.
+func TestQuickDominanceTransitive(t *testing.T) {
+	f := func(a, b, c [3]float64) bool {
+		p, ok1 := clean3(a)
+		q, ok2 := clean3(b)
+		r, ok3 := clean3(c)
+		if !ok1 || !ok2 || !ok3 {
+			return true
+		}
+		if Dominates(p, q) && Dominates(q, r) {
+			return Dominates(p, r)
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 800, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Points outside the k-skyband never rank within the top k under any
+// monotone linear utility — the preprocessing soundness invariant.
+func TestQuickSkybandPreservesTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 30 + rng.Intn(80)
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(4)
+		pts := make([]vec.Vec, n)
+		for i := range pts {
+			p := vec.New(d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			pts[i] = p
+		}
+		inBand := map[int]bool{}
+		for _, i := range KSkyband(pts, k) {
+			inBand[i] = true
+		}
+		for probe := 0; probe < 20; probe++ {
+			u := vec.RandSimplex(rng, d)
+			// Rank every point; top-k members must be in the band.
+			type iu struct {
+				i int
+				v float64
+			}
+			utils := make([]iu, n)
+			for i, p := range pts {
+				utils[i] = iu{i, u.Dot(p)}
+			}
+			for a := 0; a < k; a++ {
+				best := a
+				for b := a + 1; b < n; b++ {
+					if utils[b].v > utils[best].v {
+						best = b
+					}
+				}
+				utils[a], utils[best] = utils[best], utils[a]
+				if !inBand[utils[a].i] {
+					t.Fatalf("top-%d point %d (utility %v) outside the %d-skyband",
+						a+1, utils[a].i, utils[a].v, k)
+				}
+			}
+		}
+	}
+}

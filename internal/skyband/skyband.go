@@ -1,0 +1,96 @@
+// Package skyband implements dominance, skyline and k-skyband computation.
+// The paper (and the baselines it compares with) preprocesses every dataset
+// down to its k-skyband — the points dominated by fewer than k others —
+// because no point outside the k-skyband can ever rank within the top k
+// under any monotone linear utility.
+package skyband
+
+import (
+	"sort"
+
+	"rrq/internal/vec"
+)
+
+// Dominates reports whether p dominates q: p is at least as large in every
+// dimension and strictly larger in at least one.
+func Dominates(p, q vec.Vec) bool {
+	strict := false
+	for i, x := range p {
+		if x < q[i] {
+			return false
+		}
+		if x > q[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Skyline returns the indices (in input order) of the points not dominated
+// by any other point. Equivalent to KSkyband(pts, 1).
+func Skyline(pts []vec.Vec) []int { return KSkyband(pts, 1) }
+
+// KSkyband returns the indices (in input order) of the points dominated by
+// fewer than k other points.
+//
+// The implementation processes points in descending attribute-sum order: a
+// dominator always has an attribute sum at least as large as the dominated
+// point, and a standard descent argument shows that a point is in the
+// k-skyband iff it is dominated by fewer than k k-skyband points — so only
+// the skyband found so far needs to be consulted.
+func KSkyband(pts []vec.Vec, k int) []int {
+	if k < 1 {
+		return nil
+	}
+	n := len(pts)
+	order := make([]int, n)
+	sums := make([]float64, n)
+	for i, p := range pts {
+		order[i] = i
+		sums[i] = p.Sum()
+	}
+	sort.Slice(order, func(a, b int) bool { return sums[order[a]] > sums[order[b]] })
+
+	band := make([]int, 0, 64)
+	for _, idx := range order {
+		p := pts[idx]
+		count := 0
+		for _, bIdx := range band {
+			if Dominates(pts[bIdx], p) {
+				count++
+				if count >= k {
+					break
+				}
+			}
+		}
+		if count < k {
+			band = append(band, idx)
+		}
+	}
+	sort.Ints(band)
+	return band
+}
+
+// Select returns the subset of pts at the given indices.
+func Select(pts []vec.Vec, idx []int) []vec.Vec {
+	out := make([]vec.Vec, len(idx))
+	for i, j := range idx {
+		out[i] = pts[j]
+	}
+	return out
+}
+
+// DominatorCount returns, for each point, the number of points dominating
+// it. Quadratic; intended for tests and small inputs.
+func DominatorCount(pts []vec.Vec) []int {
+	n := len(pts)
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && Dominates(pts[j], pts[i]) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}

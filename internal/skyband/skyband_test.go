@@ -1,0 +1,127 @@
+package skyband
+
+import (
+	"math/rand"
+	"testing"
+
+	"rrq/internal/vec"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		p, q vec.Vec
+		want bool
+	}{
+		{vec.Of(2, 2), vec.Of(1, 1), true},
+		{vec.Of(2, 1), vec.Of(1, 1), true},
+		{vec.Of(1, 1), vec.Of(1, 1), false}, // equal points do not dominate
+		{vec.Of(2, 0), vec.Of(1, 1), false},
+		{vec.Of(1, 1), vec.Of(2, 2), false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.p, c.q); got != c.want {
+			t.Errorf("Dominates(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestSkylineSmall(t *testing.T) {
+	pts := []vec.Vec{
+		vec.Of(0.2, 0.92), // p1: skyline
+		vec.Of(0.7, 0.54), // p2: skyline
+		vec.Of(0.6, 0.3),  // p3: dominated by p2
+	}
+	sky := Skyline(pts)
+	if len(sky) != 2 || sky[0] != 0 || sky[1] != 1 {
+		t.Fatalf("skyline = %v, want [0 1]", sky)
+	}
+}
+
+func TestKSkybandMatchesDominatorCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + rng.Intn(3)
+		n := 50 + rng.Intn(150)
+		pts := make([]vec.Vec, n)
+		for i := range pts {
+			p := vec.New(d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			pts[i] = p
+		}
+		counts := DominatorCount(pts)
+		for _, k := range []int{1, 2, 5, 10} {
+			want := make(map[int]bool)
+			for i, c := range counts {
+				if c < k {
+					want[i] = true
+				}
+			}
+			got := KSkyband(pts, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: |band| = %d, want %d", k, len(got), len(want))
+			}
+			for _, i := range got {
+				if !want[i] {
+					t.Fatalf("k=%d: index %d should not be in band", k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestKSkybandMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]vec.Vec, 200)
+	for i := range pts {
+		pts[i] = vec.Of(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	prev := 0
+	for k := 1; k <= 8; k++ {
+		got := len(KSkyband(pts, k))
+		if got < prev {
+			t.Fatalf("band size decreased: k=%d size=%d prev=%d", k, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestKSkybandDuplicates(t *testing.T) {
+	// Duplicates don't dominate each other, so both copies stay.
+	pts := []vec.Vec{vec.Of(0.5, 0.5), vec.Of(0.5, 0.5), vec.Of(0.9, 0.9)}
+	band := KSkyband(pts, 1)
+	if len(band) != 3 {
+		// (0.9,0.9) dominates both copies, so with k=1 only it survives.
+		if len(band) != 1 || band[0] != 2 {
+			t.Fatalf("band = %v", band)
+		}
+	} else {
+		t.Fatalf("band = %v; dominated duplicates must be pruned at k=1", band)
+	}
+	band = KSkyband(pts, 2)
+	if len(band) != 3 {
+		t.Fatalf("k=2 band = %v, want all 3 (each copy has 1 dominator)", band)
+	}
+}
+
+func TestKSkybandEdge(t *testing.T) {
+	if got := KSkyband(nil, 3); len(got) != 0 {
+		t.Fatalf("empty input band = %v", got)
+	}
+	if got := KSkyband([]vec.Vec{vec.Of(1, 2)}, 0); got != nil {
+		t.Fatalf("k=0 band = %v, want nil", got)
+	}
+	pts := []vec.Vec{vec.Of(0.1, 0.1)}
+	if got := KSkyband(pts, 1); len(got) != 1 {
+		t.Fatalf("singleton band = %v", got)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	pts := []vec.Vec{vec.Of(1), vec.Of(2), vec.Of(3)}
+	sel := Select(pts, []int{2, 0})
+	if len(sel) != 2 || sel[0][0] != 3 || sel[1][0] != 1 {
+		t.Fatalf("Select = %v", sel)
+	}
+}

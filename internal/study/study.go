@@ -1,0 +1,155 @@
+// Package study simulates the paper's user study (§6.2, Figure 7). Thirty
+// participants shop the Car market; each participant's exact utility
+// function is learned with the Adaptive pairwise-comparison algorithm, the
+// learned function ranks the cars, and the study then measures how
+// interesting the cars with small x-regret ratio are — including cars that
+// rank far below the top-x cut-off.
+//
+// Human participants are replaced by simulated ones (see DESIGN.md §3):
+// each participant holds a hidden true utility vector and declares interest
+// in a car exactly when its true utility is within a personal tolerance of
+// the true favourite's utility — the score-closeness premise the paper's
+// study validates.
+package study
+
+import (
+	"math/rand"
+
+	"rrq/internal/core"
+	"rrq/internal/prefs"
+	"rrq/internal/topk"
+	"rrq/internal/vec"
+)
+
+// Participant is one simulated study subject.
+type Participant struct {
+	Truth vec.Vec // hidden true utility vector
+	Tol   float64 // interest tolerance θ: interested iff f(c) ≥ (1−θ)·f(best)
+}
+
+// Interested reports whether the participant finds item c interesting.
+func (p Participant) Interested(items []vec.Vec, c vec.Vec) bool {
+	best := topk.KthMax(topk.Utilities(items, p.Truth), 1)
+	return p.Truth.Dot(c) >= (1-p.Tol)*best
+}
+
+// Config controls a study run.
+type Config struct {
+	Participants int     // default 30, as in the paper
+	Present      int     // cars shown per participant, default 5
+	Threshold    float64 // regret-ratio cut-off, default 0.1
+	LearnRounds  int     // pairwise comparisons per participant, default 15
+	Seed         int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Participants <= 0 {
+		c.Participants = 30
+	}
+	if c.Present <= 0 {
+		c.Present = 5
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.1
+	}
+	if c.LearnRounds <= 0 {
+		c.LearnRounds = 15
+	}
+	return c
+}
+
+// Result aggregates one x setting of Figure 7.
+type Result struct {
+	X               int     // the top-x setting (1, 5, 10 in the paper)
+	PercentInterest float64 // fraction of presented cars that interested participants
+	AvgRank         float64 // average learned-utility rank of the interesting presented cars
+	MaxRank         int     // worst rank among interesting presented cars
+	// MissedByTopX is the fraction of interesting presented cars whose
+	// rank exceeds x — exactly the customers a ranking-based reverse
+	// query (reverse top-x) would have dismissed.
+	MissedByTopX float64
+}
+
+// Run executes the study over items for each top-x setting in xs.
+func Run(items []vec.Vec, xs []int, cfg Config) []Result {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Draw the participant pool once so every x setting sees the same
+	// simulated users, mirroring the within-subject design of the paper.
+	parts := make([]Participant, cfg.Participants)
+	learned := make([]vec.Vec, cfg.Participants)
+	d := items[0].Dim()
+	for i := range parts {
+		parts[i] = Participant{
+			Truth: vec.RandSimplex(rng, d),
+			Tol:   clampPos(rng.NormFloat64()*0.04 + 0.15),
+		}
+		learned[i] = prefs.Learn(items, prefs.TrueUtilityOracle(parts[i].Truth),
+			prefs.Options{Rounds: cfg.LearnRounds}, rng)
+	}
+
+	out := make([]Result, 0, len(xs))
+	for _, x := range xs {
+		var interested, shown, missed int
+		var rankSum, rankCount float64
+		maxRank := 0
+		for i, part := range parts {
+			u := learned[i]
+			// Candidate cars: x-regratio below the threshold w.r.t. the
+			// learned utility function.
+			q := core.Query{K: x, Eps: cfg.Threshold}
+			var cand []int
+			for ci, c := range items {
+				q.Q = c
+				if core.RegretRatio(items, q, u) < cfg.Threshold {
+					cand = append(cand, ci)
+				}
+			}
+			if len(cand) == 0 {
+				continue
+			}
+			// Uniformly select Present of them.
+			sel := cand
+			if len(cand) > cfg.Present {
+				perm := rng.Perm(len(cand))[:cfg.Present]
+				sel = make([]int, cfg.Present)
+				for j, pi := range perm {
+					sel[j] = cand[pi]
+				}
+			}
+			for _, ci := range sel {
+				shown++
+				if part.Interested(items, items[ci]) {
+					interested++
+					r := topk.Rank(items, u, u.Dot(items[ci]))
+					rankSum += float64(r)
+					rankCount++
+					if r > maxRank {
+						maxRank = r
+					}
+					if r > x {
+						missed++
+					}
+				}
+			}
+		}
+		res := Result{X: x, MaxRank: maxRank}
+		if shown > 0 {
+			res.PercentInterest = float64(interested) / float64(shown)
+		}
+		if rankCount > 0 {
+			res.AvgRank = rankSum / rankCount
+			res.MissedByTopX = float64(missed) / rankCount
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func clampPos(x float64) float64 {
+	if x < 0.02 {
+		return 0.02
+	}
+	return x
+}

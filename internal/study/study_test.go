@@ -1,0 +1,86 @@
+package study
+
+import (
+	"testing"
+
+	"rrq/internal/dataset"
+	"rrq/internal/vec"
+)
+
+func carMarket(t *testing.T, n int) []vec.Vec {
+	t.Helper()
+	pts, err := dataset.Real(dataset.Car, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func TestInterested(t *testing.T) {
+	items := []vec.Vec{vec.Of(0.9, 0.9), vec.Of(0.85, 0.85), vec.Of(0.2, 0.2)}
+	p := Participant{Truth: vec.Of(0.5, 0.5), Tol: 0.1}
+	if !p.Interested(items, items[0]) {
+		t.Error("the favourite itself must be interesting")
+	}
+	if !p.Interested(items, items[1]) {
+		t.Error("a near-top car must be interesting")
+	}
+	if p.Interested(items, items[2]) {
+		t.Error("a far-below car must not be interesting")
+	}
+}
+
+func TestRunReproducesFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("user study simulation is slow")
+	}
+	items := carMarket(t, 400)
+	results := Run(items, []int{1, 5, 10}, Config{Seed: 42, Participants: 30})
+	if len(results) != 3 {
+		t.Fatalf("%d results, want 3", len(results))
+	}
+	for _, r := range results {
+		// The paper reports ≥ 50% interest across all x settings.
+		if r.PercentInterest < 0.5 {
+			t.Errorf("x=%d: interest %.1f%% < 50%%", r.X, 100*r.PercentInterest)
+		}
+		// The key claim: interesting cars rank far below the top-x cut-off,
+		// so a ranking-based reverse query would have missed them.
+		if r.AvgRank <= float64(r.X) {
+			t.Errorf("x=%d: avg rank %.1f not beyond the top-x cut-off", r.X, r.AvgRank)
+		}
+	}
+	// Larger x admits more candidates, so the worst rank grows.
+	if results[2].MaxRank < results[0].X {
+		t.Errorf("max rank %d implausibly small", results[2].MaxRank)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	items := carMarket(t, 150)
+	cfg := Config{Seed: 7, Participants: 5, LearnRounds: 6}
+	a := Run(items, []int{1}, cfg)
+	b := Run(items, []int{1}, cfg)
+	if a[0] != b[0] {
+		t.Fatalf("same seed produced different results: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Participants != 30 || cfg.Present != 5 || cfg.Threshold != 0.1 || cfg.LearnRounds != 15 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestMissedByTopXPositive(t *testing.T) {
+	items := carMarket(t, 300)
+	results := Run(items, []int{1}, Config{Seed: 3, Participants: 10, LearnRounds: 8})
+	r := results[0]
+	if r.PercentInterest > 0 && r.MissedByTopX == 0 {
+		t.Fatalf("with x=1 some interesting cars must rank below 1: %+v", r)
+	}
+	if r.MissedByTopX < 0 || r.MissedByTopX > 1 {
+		t.Fatalf("MissedByTopX = %v out of [0,1]", r.MissedByTopX)
+	}
+}

@@ -1,0 +1,27 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func BenchmarkKthMax(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.Run("quickselect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			KthMax(xs, 10)
+		}
+	})
+	b.Run("fullsort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf := append([]float64(nil), xs...)
+			sort.Float64s(buf)
+			_ = buf[len(buf)-10]
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rrq/internal/vec"
+)
+
+func TestUtilities(t *testing.T) {
+	pts := []vec.Vec{vec.Of(0.2, 0.92), vec.Of(0.7, 0.54), vec.Of(0.6, 0.3)}
+	u := vec.Of(0.5, 0.5)
+	got := Utilities(pts, u)
+	want := []float64{0.56, 0.62, 0.45}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("utility %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKthMaxAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		for _, k := range []int{1, 2, n / 2, n} {
+			if k < 1 {
+				k = 1
+			}
+			if got := KthMax(xs, k); got != sorted[k-1] {
+				t.Fatalf("KthMax(n=%d,k=%d) = %v, want %v", n, k, got, sorted[k-1])
+			}
+		}
+	}
+}
+
+func TestKthMaxClamping(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := KthMax(xs, 0); got != 3 {
+		t.Errorf("k=0 clamps to max, got %v", got)
+	}
+	if got := KthMax(xs, 10); got != 1 {
+		t.Errorf("k>n clamps to min, got %v", got)
+	}
+	// Input must stay intact.
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("KthMax mutated its input")
+	}
+}
+
+func TestKthMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KthMax(nil, 1)
+}
+
+func TestKthMaxDuplicates(t *testing.T) {
+	xs := []float64{5, 5, 5, 1}
+	if got := KthMax(xs, 3); got != 5 {
+		t.Fatalf("got %v, want 5", got)
+	}
+	if got := KthMax(xs, 4); got != 1 {
+		t.Fatalf("got %v, want 1", got)
+	}
+}
+
+func TestTopKIndices(t *testing.T) {
+	pts := []vec.Vec{vec.Of(0.2, 0.92), vec.Of(0.7, 0.54), vec.Of(0.6, 0.3)}
+	u := vec.Of(0.5, 0.5)
+	got := TopKIndices(pts, u, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("TopKIndices = %v, want [1 0]", got)
+	}
+	all := TopKIndices(pts, u, 99)
+	if len(all) != 3 {
+		t.Fatalf("clamped top-k = %v", all)
+	}
+}
+
+func TestRank(t *testing.T) {
+	pts := []vec.Vec{vec.Of(0.2, 0.92), vec.Of(0.7, 0.54), vec.Of(0.6, 0.3)}
+	u := vec.Of(0.5, 0.5)
+	// Utilities: 0.56, 0.62, 0.45. A value of 0.55 ranks third.
+	if got := Rank(pts, u, 0.55); got != 3 {
+		t.Fatalf("Rank = %d, want 3", got)
+	}
+	if got := Rank(pts, u, 0.7); got != 1 {
+		t.Fatalf("Rank = %d, want 1", got)
+	}
+}

@@ -1,0 +1,230 @@
+// Package vec provides small dense vector math used across the RRQ
+// implementation: dot products, norms, affine-simplex helpers and tolerant
+// sign classification.
+//
+// All utility vectors live on the standard (d-1)-simplex
+// U = {u ∈ R^d : u[i] ≥ 0, Σ u[i] = 1}. Several routines here are specific
+// to that embedding: TangentPart projects a hyper-plane normal into the
+// simplex's tangent space so that Euclidean distances measured inside the
+// affine hull of U are correct.
+package vec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Eps is the default absolute tolerance for geometric sign decisions.
+// Coordinates are O(1) (datasets are normalized to (0,1]), so an absolute
+// tolerance is appropriate.
+const Eps = 1e-9
+
+// Vec is a dense d-dimensional vector.
+type Vec []float64
+
+// New returns a zero vector of dimension d.
+func New(d int) Vec { return make(Vec, d) }
+
+// Of builds a vector from its components.
+func Of(xs ...float64) Vec { return Vec(xs) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	c := make(Vec, len(v))
+	copy(c, v)
+	return c
+}
+
+// Dim returns the dimensionality of v.
+func (v Vec) Dim() int { return len(v) }
+
+// Dot returns the inner product v·w. The vectors must have equal dimension.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vec: dot of mismatched dims %d and %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Add returns v + w as a new vector.
+func (v Vec) Add(w Vec) Vec {
+	c := v.Clone()
+	for i := range c {
+		c[i] += w[i]
+	}
+	return c
+}
+
+// Sub returns v − w as a new vector.
+func (v Vec) Sub(w Vec) Vec {
+	c := v.Clone()
+	for i := range c {
+		c[i] -= w[i]
+	}
+	return c
+}
+
+// Scale returns a·v as a new vector.
+func (v Vec) Scale(a float64) Vec {
+	c := v.Clone()
+	for i := range c {
+		c[i] *= a
+	}
+	return c
+}
+
+// AddScaled returns v + a·w as a new vector.
+func (v Vec) AddScaled(a float64, w Vec) Vec {
+	c := v.Clone()
+	for i := range c {
+		c[i] += a * w[i]
+	}
+	return c
+}
+
+// Lerp returns (1−t)·v + t·w, the point at parameter t on segment [v,w].
+func (v Vec) Lerp(w Vec, t float64) Vec {
+	c := make(Vec, len(v))
+	for i := range c {
+		c[i] = v[i] + t*(w[i]-v[i])
+	}
+	return c
+}
+
+// Norm returns the Euclidean norm ‖v‖₂.
+func (v Vec) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Dist returns the Euclidean distance ‖v−w‖₂.
+func (v Vec) Dist(w Vec) float64 {
+	var s float64
+	for i, x := range v {
+		dd := x - w[i]
+		s += dd * dd
+	}
+	return math.Sqrt(s)
+}
+
+// Unit returns v/‖v‖. It panics if v is (numerically) zero.
+func (v Vec) Unit() Vec {
+	n := v.Norm()
+	if n < Eps {
+		panic("vec: unit of zero vector")
+	}
+	return v.Scale(1 / n)
+}
+
+// Sum returns Σ v[i].
+func (v Vec) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns Σ v[i] / d.
+func (v Vec) Mean() float64 { return v.Sum() / float64(len(v)) }
+
+// TangentPart projects w onto the tangent space of the simplex's affine
+// hull {x : Σx = 1}: the returned vector is w − mean(w)·1. The Euclidean
+// distance inside the affine hull from a point c (with Σc = 1) to the
+// hyper-plane {u : u·w = 0} is |c·w| / ‖TangentPart(w)‖. If the tangent
+// part is (numerically) zero the hyper-plane is parallel to the affine
+// hull and never intersects the utility space.
+func (v Vec) TangentPart() Vec {
+	m := v.Mean()
+	c := v.Clone()
+	for i := range c {
+		c[i] -= m
+	}
+	return c
+}
+
+// Equal reports whether v and w agree within tol in every coordinate.
+func (v Vec) Equal(w Vec, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i, x := range v {
+		if math.Abs(x-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Sign classifies x against the tolerance: −1 if x < −tol, +1 if x > tol,
+// 0 otherwise.
+func Sign(x, tol float64) int {
+	switch {
+	case x > tol:
+		return 1
+	case x < -tol:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// String formats the vector with four decimals, e.g. "(0.2500, 0.7500)".
+func (v Vec) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4f", x)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Basis returns the i-th standard basis vector of dimension d.
+func Basis(d, i int) Vec {
+	v := New(d)
+	v[i] = 1
+	return v
+}
+
+// SimplexCenter returns the barycenter (1/d, …, 1/d) of the utility space.
+func SimplexCenter(d int) Vec {
+	v := New(d)
+	for i := range v {
+		v[i] = 1 / float64(d)
+	}
+	return v
+}
+
+// OnSimplex reports whether v lies on the utility simplex within tol:
+// all coordinates ≥ −tol and Σv within tol of 1.
+func OnSimplex(v Vec, tol float64) bool {
+	for _, x := range v {
+		if x < -tol {
+			return false
+		}
+	}
+	return math.Abs(v.Sum()-1) <= tol
+}
+
+// RandSimplex samples a uniformly distributed point on the (d−1)-simplex
+// using the standard exponential-spacings construction.
+func RandSimplex(rng *rand.Rand, d int) Vec {
+	v := make(Vec, d)
+	var s float64
+	for i := range v {
+		e := rng.ExpFloat64()
+		v[i] = e
+		s += e
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return v
+}

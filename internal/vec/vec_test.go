@@ -1,0 +1,218 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	v := Of(1, 2, 3)
+	w := Of(4, 5, 6)
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched dims")
+		}
+	}()
+	Of(1, 2).Dot(Of(1, 2, 3))
+}
+
+func TestAddSubScale(t *testing.T) {
+	v := Of(1, 2)
+	w := Of(3, -1)
+	if got := v.Add(w); !got.Equal(Of(4, 1), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); !got.Equal(Of(-2, 3), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); !got.Equal(Of(2, 4), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.AddScaled(2, w); !got.Equal(Of(7, 0), 0) {
+		t.Errorf("AddScaled = %v", got)
+	}
+	// Originals untouched.
+	if !v.Equal(Of(1, 2), 0) || !w.Equal(Of(3, -1), 0) {
+		t.Error("operations mutated their inputs")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a := Of(0, 1)
+	b := Of(1, 0)
+	mid := a.Lerp(b, 0.5)
+	if !mid.Equal(Of(0.5, 0.5), 1e-15) {
+		t.Fatalf("Lerp = %v", mid)
+	}
+	if !a.Lerp(b, 0).Equal(a, 0) || !a.Lerp(b, 1).Equal(b, 0) {
+		t.Fatal("Lerp endpoints wrong")
+	}
+}
+
+func TestNormDistUnit(t *testing.T) {
+	v := Of(3, 4)
+	if v.Norm() != 5 {
+		t.Errorf("Norm = %v", v.Norm())
+	}
+	if got := v.Dist(Of(0, 0)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	u := v.Unit()
+	if math.Abs(u.Norm()-1) > 1e-12 {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+}
+
+func TestUnitZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Of(0, 0).Unit()
+}
+
+func TestTangentPart(t *testing.T) {
+	w := Of(1, 2, 3)
+	tp := w.TangentPart()
+	if math.Abs(tp.Sum()) > 1e-12 {
+		t.Fatalf("tangent part sum = %v, want 0", tp.Sum())
+	}
+	// A normal proportional to 1 has zero tangent part.
+	ones := Of(2, 2, 2)
+	if ones.TangentPart().Norm() > 1e-12 {
+		t.Fatal("tangent part of constant vector should vanish")
+	}
+}
+
+// Distance from a simplex point to plane {u·w=0} measured via TangentPart
+// must match a direct in-hull construction in 2-d.
+func TestTangentDistance2D(t *testing.T) {
+	w := Of(0.22, -0.13) // hyper-plane from paper Example 3.4
+	// Crossing parameter of u=(t,1−t): t* = w2/(w2−w1).
+	ts := w[1] / (w[1] - w[0])
+	cross := Of(ts, 1-ts)
+	c := SimplexCenter(2)
+	want := c.Dist(cross)
+	got := math.Abs(c.Dot(w)) / w.TangentPart().Norm()
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("affine distance = %v, want %v", got, want)
+	}
+}
+
+func TestSign(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{1, 1}, {-1, -1}, {0, 0}, {1e-12, 0}, {-1e-12, 0}, {1e-3, 1},
+	}
+	for _, c := range cases {
+		if got := Sign(c.x, 1e-9); got != c.want {
+			t.Errorf("Sign(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBasisAndCenter(t *testing.T) {
+	b := Basis(3, 1)
+	if !b.Equal(Of(0, 1, 0), 0) {
+		t.Fatalf("Basis = %v", b)
+	}
+	c := SimplexCenter(4)
+	if !OnSimplex(c, 1e-12) {
+		t.Fatalf("center %v not on simplex", c)
+	}
+}
+
+func TestOnSimplex(t *testing.T) {
+	if !OnSimplex(Of(0.3, 0.7), 1e-9) {
+		t.Error("(0.3,0.7) should be on simplex")
+	}
+	if OnSimplex(Of(0.3, 0.6), 1e-9) {
+		t.Error("(0.3,0.6) should not be on simplex")
+	}
+	if OnSimplex(Of(-0.1, 1.1), 1e-9) {
+		t.Error("negative coordinate should fail")
+	}
+}
+
+func TestRandSimplexUniformProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for d := 2; d <= 6; d++ {
+		mean := New(d)
+		const trials = 4000
+		for i := 0; i < trials; i++ {
+			u := RandSimplex(rng, d)
+			if !OnSimplex(u, 1e-9) {
+				t.Fatalf("sample %v off simplex", u)
+			}
+			for j := range mean {
+				mean[j] += u[j]
+			}
+		}
+		for j := range mean {
+			mean[j] /= trials
+			if math.Abs(mean[j]-1/float64(d)) > 0.02 {
+				t.Errorf("d=%d coord %d mean %v, want ~%v", d, j, mean[j], 1/float64(d))
+			}
+		}
+	}
+}
+
+// Property: Dot is bilinear and symmetric.
+func TestDotProperties(t *testing.T) {
+	clamp := func(xs [4]float64) Vec {
+		v := New(4)
+		for i, x := range xs {
+			v[i] = math.Mod(x, 1e3)
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+		}
+		return v
+	}
+	f := func(a, b, c [4]float64, s float64) bool {
+		v, w, x := clamp(a), clamp(b), clamp(c)
+		s = math.Mod(s, 1e3)
+		if math.IsNaN(s) {
+			s = 0
+		}
+		if math.Abs(v.Dot(w)-w.Dot(v)) > 1e-6*(1+math.Abs(v.Dot(w))) {
+			return false
+		}
+		lhs := v.Add(x.Scale(s)).Dot(w)
+		rhs := v.Dot(w) + s*x.Dot(w)
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(rhs))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ‖v−w‖ satisfies the triangle inequality.
+func TestDistTriangle(t *testing.T) {
+	f := func(a, b, c [3]float64) bool {
+		v, w, x := Vec(a[:]), Vec(b[:]), Vec(c[:])
+		return v.Dist(w) <= v.Dist(x)+x.Dist(w)+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(0.25, 0.75).String(); got != "(0.2500, 0.7500)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,406 @@
+// Package rrq is a Go implementation of the Reverse Regret Query (Wang,
+// Wong, Jagadish, Xie): given a market of products with d numeric
+// attributes and a query product q, find every linear preference (utility
+// vector) under which q's k-regret ratio stays below a threshold ε — i.e.
+// every prospective customer for whom q scores at (or near) the top of the
+// market, even when it does not rank there.
+//
+// # Quick start
+//
+//	ds, _ := rrq.NewDataset([][]float64{{0.2, 0.92}, {0.7, 0.54}, {0.6, 0.3}})
+//	region, _ := rrq.Solve(ds, rrq.Query{Q: rrq.Point{0.4, 0.7}, K: 2, Epsilon: 0.1})
+//	share := region.Measure(20000) // fraction of preference space won
+//
+// Three solvers from the paper are available: Sweeping (d = 2, linear
+// time), E-PT (exact, any d) and A-PC (approximate, faster). The two
+// competitors the paper benchmarks against, LP-CTA and PBA+, are included
+// for comparison, as is the continuous reverse top-k operator.
+package rrq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rrq/internal/baseline"
+	"rrq/internal/core"
+	"rrq/internal/dataset"
+	"rrq/internal/rms"
+	"rrq/internal/skyband"
+	"rrq/internal/vec"
+)
+
+// Point is one product: d attribute values, larger preferred, normalized to
+// (0,1].
+type Point []float64
+
+// Vector is a utility vector: non-negative weights summing to one.
+type Vector []float64
+
+// Dataset is an immutable collection of products with a common dimension.
+type Dataset struct {
+	pts []vec.Vec
+	dim int
+}
+
+// NewDataset copies points into a dataset. All points must share the same
+// dimension d ≥ 2.
+func NewDataset(points [][]float64) (*Dataset, error) {
+	if len(points) == 0 {
+		return nil, errors.New("rrq: empty dataset")
+	}
+	d := len(points[0])
+	if d < 2 {
+		return nil, fmt.Errorf("rrq: dimension %d < 2", d)
+	}
+	pts := make([]vec.Vec, len(points))
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("rrq: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		for j, x := range p {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("rrq: point %d attribute %d is %v", i, j, x)
+			}
+		}
+		pts[i] = vec.Vec(p).Clone()
+	}
+	return &Dataset{pts: pts, dim: d}, nil
+}
+
+// Len returns the number of products.
+func (d *Dataset) Len() int { return len(d.pts) }
+
+// Dim returns the number of attributes.
+func (d *Dataset) Dim() int { return d.dim }
+
+// PointAt returns a copy of the i-th product.
+func (d *Dataset) PointAt(i int) Point { return Point(d.pts[i].Clone()) }
+
+// Normalize returns a copy of the dataset with every attribute rescaled to
+// (0,1], the domain the paper assumes.
+func (d *Dataset) Normalize() *Dataset {
+	pts := make([]vec.Vec, len(d.pts))
+	for i, p := range d.pts {
+		pts[i] = p.Clone()
+	}
+	dataset.Normalize(pts)
+	return &Dataset{pts: pts, dim: d.dim}
+}
+
+// KSkyband returns the sub-dataset of points dominated by fewer than k
+// others — the standard preprocessing applied before reverse queries, since
+// points outside the k-skyband can never rank within any top-k.
+func (d *Dataset) KSkyband(k int) *Dataset {
+	idx := skyband.KSkyband(d.pts, k)
+	return &Dataset{pts: skyband.Select(d.pts, idx), dim: d.dim}
+}
+
+// points returns the internal representation (not copied; callers must not
+// mutate).
+func (d *Dataset) points() []vec.Vec { return d.pts }
+
+// Query is one reverse regret query.
+type Query struct {
+	Q       Point   // the query product
+	K       int     // rank relaxation, k ≥ 1
+	Epsilon float64 // regret threshold ε ∈ [0,1)
+}
+
+func (q Query) toCore() core.Query {
+	return core.Query{Q: vec.Vec(q.Q), K: q.K, Eps: q.Epsilon}
+}
+
+// Algorithm selects the solver used by Solve.
+type Algorithm int
+
+const (
+	// Auto picks Sweeping for d = 2 and EPT otherwise.
+	Auto Algorithm = iota
+	// SweepingAlgo is the linear-time 2-d sweep (paper §4).
+	SweepingAlgo
+	// EPTAlgo is the exact partition tree (paper §5.1).
+	EPTAlgo
+	// APCAlgo is the approximate progressive construction (paper §5.2).
+	APCAlgo
+	// LPCTAAlgo is the adapted LP-CTA baseline (Tang et al. 2017).
+	LPCTAAlgo
+	// BruteForceAlgo is the exact reference solver (tests and tiny inputs).
+	BruteForceAlgo
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "Auto"
+	case SweepingAlgo:
+		return "Sweeping"
+	case EPTAlgo:
+		return "E-PT"
+	case APCAlgo:
+		return "A-PC"
+	case LPCTAAlgo:
+		return "LP-CTA"
+	case BruteForceAlgo:
+		return "BruteForce"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Option configures Solve.
+type Option func(*config)
+
+type config struct {
+	algo    Algorithm
+	samples int
+	seed    int64
+}
+
+// WithAlgorithm forces a specific solver.
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algo = a } }
+
+// WithSamples sets the A-PC sample count N (default 10·(d−1), §6.3).
+func WithSamples(n int) Option { return func(c *config) { c.samples = n } }
+
+// WithSeed seeds the randomized parts of A-PC.
+func WithSeed(s int64) Option { return func(c *config) { c.seed = s } }
+
+// Solve answers the reverse regret query over the dataset.
+func Solve(d *Dataset, q Query, opts ...Option) (*Region, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cq := q.toCore()
+	algo := cfg.algo
+	if algo == Auto {
+		if d.Dim() == 2 {
+			algo = SweepingAlgo
+		} else {
+			algo = EPTAlgo
+		}
+	}
+	var (
+		r   *core.Region
+		err error
+	)
+	switch algo {
+	case SweepingAlgo:
+		r, err = core.Sweeping(d.points(), cq)
+	case EPTAlgo:
+		r, err = core.EPT(d.points(), cq)
+	case APCAlgo:
+		r, err = core.APC(d.points(), cq, core.APCOptions{Samples: cfg.samples, Seed: cfg.seed})
+	case LPCTAAlgo:
+		r, err = baseline.LPCTA(d.points(), cq)
+	case BruteForceAlgo:
+		if d.Dim() == 2 {
+			r, err = core.BruteForce2D(d.points(), cq)
+		} else {
+			r, err = core.BruteForceND(d.points(), cq, 64)
+		}
+	default:
+		return nil, fmt.Errorf("rrq: unknown algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Region{inner: r, q: cq}, nil
+}
+
+// ReverseTopK answers the continuous reverse top-k query: the region of
+// preference space on which q ranks within the top k. It equals the
+// reverse regret query at ε = 0.
+func ReverseTopK(d *Dataset, q Point, k int) (*Region, error) {
+	return Solve(d, Query{Q: q, K: k, Epsilon: 0}, WithAlgorithm(EPTAlgo))
+}
+
+// RegretRatio computes the k-regret ratio of q under utility vector u
+// (Definition 3.2).
+func RegretRatio(d *Dataset, q Point, k int, u Vector) float64 {
+	return core.RegretRatio(d.points(), core.Query{Q: vec.Vec(q), K: k, Eps: 0}, vec.Vec(u))
+}
+
+// Region is the answer to a query: the set of qualified utility vectors,
+// represented as convex partitions of the preference simplex.
+type Region struct {
+	inner *core.Region
+	q     core.Query
+}
+
+// IsEmpty reports whether no preference qualifies.
+func (r *Region) IsEmpty() bool { return r.inner.Empty() }
+
+// NumPartitions returns how many convex pieces the region holds.
+func (r *Region) NumPartitions() int { return r.inner.NumPieces() }
+
+// Contains reports whether the utility vector u qualifies. u must be a
+// d-dimensional non-negative vector summing to 1.
+func (r *Region) Contains(u Vector) bool { return r.inner.Contains(vec.Vec(u)) }
+
+// Measure estimates the fraction of the preference space that qualifies —
+// the "market share" of the query product at regret level ε. For 2-d
+// interval regions the result is exact; otherwise samples Monte-Carlo
+// points (deterministically).
+func (r *Region) Measure(samples int) float64 {
+	return r.inner.Measure(rand.New(rand.NewSource(1)), samples)
+}
+
+// Sample returns one qualified utility vector, or nil when the region is
+// empty.
+func (r *Region) Sample(seed int64) Vector {
+	u := r.inner.SamplePoint(rand.New(rand.NewSource(seed)))
+	return Vector(u)
+}
+
+// Intervals2D returns the region as intervals [lo,hi] of the sweep
+// parameter t, where the preference is (t, 1−t). Only valid when d = 2.
+func (r *Region) Intervals2D() [][2]float64 { return r.inner.Intervals() }
+
+// MarshalJSON encodes the region in a self-contained form: intervals for
+// 2-d sweep answers, half-space constraint sets (plus vertices) otherwise.
+func (r *Region) MarshalJSON() ([]byte, error) { return r.inner.MarshalJSON() }
+
+// PBAIndex is the adapted PBA+ baseline: an index built once over a
+// dataset, answering reverse regret queries for any k up to its kmax.
+// Included for benchmark parity with the paper; its preprocessing is
+// intentionally expensive.
+type PBAIndex struct {
+	inner *baseline.PBAIndex
+}
+
+// BuildPBAIndex preprocesses the dataset for queries with K ≤ kmax.
+// maxNodes bounds index size (0 = default); ErrPBABudget is returned when
+// the budget is exceeded.
+func BuildPBAIndex(d *Dataset, kmax, maxNodes int) (*PBAIndex, error) {
+	ix, err := baseline.BuildPBA(d.points(), kmax, maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	return &PBAIndex{inner: ix}, nil
+}
+
+// ErrPBABudget signals that PBA+ preprocessing exceeded its node budget.
+var ErrPBABudget = baseline.ErrPBABudget
+
+// Query answers a reverse regret query with the prebuilt index.
+func (ix *PBAIndex) Query(q Query) (*Region, error) {
+	cq := q.toCore()
+	r, err := ix.inner.Query(cq)
+	if err != nil {
+		return nil, err
+	}
+	return &Region{inner: r, q: cq}, nil
+}
+
+// DynamicRegion maintains the answer to one query over a changing market —
+// the paper's stated future work. Insertions update the region
+// incrementally (a new product can only shrink it); deletions mark the
+// structure dirty and the next Region call rebuilds.
+type DynamicRegion struct {
+	inner *core.Dynamic
+	q     core.Query
+}
+
+// NewDynamicRegion builds the initial answer for q over the dataset.
+func NewDynamicRegion(d *Dataset, q Query) (*DynamicRegion, error) {
+	cq := q.toCore()
+	dyn, err := core.NewDynamic(d.points(), cq)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicRegion{inner: dyn, q: cq}, nil
+}
+
+// Insert adds a product to the market and updates the answer.
+func (dr *DynamicRegion) Insert(p Point) error { return dr.inner.Insert(vec.Vec(p)) }
+
+// Delete removes the i-th product (in insertion order).
+func (dr *DynamicRegion) Delete(i int) error { return dr.inner.Delete(i) }
+
+// Len returns the current market size.
+func (dr *DynamicRegion) Len() int { return dr.inner.Len() }
+
+// Region returns the current answer.
+func (dr *DynamicRegion) Region() *Region {
+	return &Region{inner: dr.inner.Region(), q: dr.q}
+}
+
+// DistType selects a synthetic data distribution.
+type DistType = dataset.Type
+
+// Synthetic distribution re-exports.
+const (
+	Independent    = dataset.Independent
+	Correlated     = dataset.Correlated
+	Anticorrelated = dataset.Anticorrelated
+)
+
+// SyntheticDataset generates n points of dimension d from one of the three
+// classical distributions, normalized to (0,1] and fully determined by the
+// seed.
+func SyntheticDataset(t DistType, n, d int, seed int64) *Dataset {
+	return &Dataset{pts: dataset.Generate(t, n, d, seed), dim: d}
+}
+
+// RealDataset returns the seeded stand-in for one of the paper's real
+// datasets: "Island", "Weather", "Car" or "NBA" (see DESIGN.md for the
+// substitution rationale). maxN > 0 caps the size.
+func RealDataset(name string, maxN int) (*Dataset, error) {
+	pts, err := dataset.Real(dataset.RealName(name), maxN)
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("rrq: empty real dataset %q", name)
+	}
+	return &Dataset{pts: pts, dim: pts[0].Dim()}, nil
+}
+
+// RandomQuery draws a query product for experiments: a random dataset point
+// perturbed slightly, as in the paper's protocol.
+func (d *Dataset) RandomQuery(seed int64) Point {
+	rng := rand.New(rand.NewSource(seed))
+	return Point(dataset.RandQuery(rng, d.pts))
+}
+
+// ShareProfile is the market-share curve of a query product: Share(ε) is
+// the fraction of the preference space on which the product is a
+// (k,ε)-regret point, for every ε at once. It is built from one sampling
+// pass (the per-preference minimal qualifying threshold ε* is computed
+// directly), which is far cheaper than solving one reverse regret query per
+// ε when sweeping tolerances during product design.
+type ShareProfile struct {
+	inner *core.ShareProfile
+}
+
+// NewShareProfile samples the preference space (deterministically from
+// seed) and returns the share curve for query product q at rank k.
+// samples ≤ 0 uses a default of 2000.
+func NewShareProfile(d *Dataset, q Point, k, samples int, seed int64) (*ShareProfile, error) {
+	sp, err := core.NewShareProfile(d.points(),
+		core.Query{Q: vec.Vec(q), K: k, Eps: 0},
+		samples, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &ShareProfile{inner: sp}, nil
+}
+
+// Share returns the market share at threshold eps.
+func (sp *ShareProfile) Share(eps float64) float64 { return sp.inner.Share(eps) }
+
+// EpsForShare returns the smallest threshold reaching the target share.
+func (sp *ShareProfile) EpsForShare(target float64) float64 { return sp.inner.EpsForShare(target) }
+
+// RegretMinimizingSet selects r representative products with the classical
+// greedy regret-minimizing-set algorithm (Nanongkai et al. 2010) — the
+// forward counterpart of the reverse regret query: every customer finds,
+// among the selected products, one scoring within the returned maximum
+// regret ratio of their favourite in the whole market. It returns the
+// selected product indices and that ratio.
+func RegretMinimizingSet(d *Dataset, r int) (indices []int, maxRegret float64, err error) {
+	return rms.Greedy(d.points(), r)
+}

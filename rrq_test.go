@@ -1,0 +1,383 @@
+package rrq
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func table3Dataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := NewDataset([][]float64{{0.2, 0.92}, {0.7, 0.54}, {0.6, 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	if _, err := NewDataset(nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := NewDataset([][]float64{{1}}); err == nil {
+		t.Error("1-d dataset accepted")
+	}
+	if _, err := NewDataset([][]float64{{1, 2}, {1, 2, 3}}); err == nil {
+		t.Error("ragged dataset accepted")
+	}
+	ds := table3Dataset(t)
+	if ds.Len() != 3 || ds.Dim() != 2 {
+		t.Fatalf("Len/Dim = %d/%d", ds.Len(), ds.Dim())
+	}
+	// NewDataset must copy: mutating the input must not leak in.
+	raw := [][]float64{{0.5, 0.5}, {0.6, 0.4}}
+	ds2, _ := NewDataset(raw)
+	raw[0][0] = 99
+	if ds2.PointAt(0)[0] == 99 {
+		t.Error("dataset aliases caller memory")
+	}
+}
+
+func TestSolvePaperExample(t *testing.T) {
+	ds := table3Dataset(t)
+	q := Query{Q: Point{0.4, 0.7}, K: 2, Epsilon: 0.1}
+	region, err := Solve(ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.IsEmpty() {
+		t.Fatal("region should not be empty")
+	}
+	if !region.Contains(Vector{0.5, 0.5}) {
+		t.Fatal("u = (0.5, 0.5) must qualify (Example 3.3)")
+	}
+}
+
+func TestSolveAlgorithmsAgree(t *testing.T) {
+	ds := SyntheticDataset(Independent, 80, 3, 5)
+	q := Query{Q: ds.RandomQuery(1), K: 4, Epsilon: 0.1}
+	exact, err := Solve(ds, q, WithAlgorithm(EPTAlgo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpcta, err := Solve(ds, q, WithAlgorithm(LPCTAAlgo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := exact.Measure(20000)
+	ml := lpcta.Measure(20000)
+	if math.Abs(me-ml) > 0.01 {
+		t.Fatalf("measures differ: E-PT %v vs LP-CTA %v", me, ml)
+	}
+	apc, err := Solve(ds, q, WithAlgorithm(APCAlgo), WithSamples(200), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apc.Measure(20000) > me+0.01 {
+		t.Fatal("A-PC region larger than exact region")
+	}
+}
+
+func TestSolveAutoDispatch(t *testing.T) {
+	ds2 := table3Dataset(t)
+	r2, err := Solve(ds2, Query{Q: Point{0.4, 0.7}, K: 1, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Intervals2D(); len(got) != 1 {
+		t.Fatalf("auto 2-d should sweep to one interval, got %v", got)
+	}
+	ds3 := SyntheticDataset(Independent, 30, 3, 2)
+	if _, err := Solve(ds3, Query{Q: ds3.RandomQuery(1), K: 2, Epsilon: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	ds := table3Dataset(t)
+	if _, err := Solve(ds, Query{Q: Point{0.4, 0.7}, K: 0, Epsilon: 0.1}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Solve(ds, Query{Q: Point{0.4, 0.7, 0.1}, K: 1, Epsilon: 0.1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Solve(ds, Query{Q: Point{0.4, 0.7}, K: 1, Epsilon: 0.1}, WithAlgorithm(Algorithm(99))); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestReverseTopKVersusRRQ(t *testing.T) {
+	ds := SyntheticDataset(Independent, 50, 3, 7)
+	q := ds.RandomQuery(2)
+	rtk, err := ReverseTopK(ds, q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrq0, err := Solve(ds, Query{Q: q, K: 3, Epsilon: 0}, WithAlgorithm(EPTAlgo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rtk.Measure(10000)-rrq0.Measure(10000)) > 1e-12 {
+		t.Fatal("reverse top-k must equal RRQ at ε=0")
+	}
+	// Relaxing ε grows the region.
+	rrq10, err := Solve(ds, Query{Q: q, K: 3, Epsilon: 0.1}, WithAlgorithm(EPTAlgo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrq10.Measure(10000) < rtk.Measure(10000)-0.01 {
+		t.Fatal("ε=0.1 region smaller than ε=0 region")
+	}
+}
+
+func TestRegretRatio(t *testing.T) {
+	ds := table3Dataset(t)
+	got := RegretRatio(ds, Point{0.4, 0.7}, 2, Vector{0.5, 0.5})
+	want := 0.01 / 0.56
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ratio = %v, want %v", got, want)
+	}
+}
+
+func TestRegionSampleAndMeasure(t *testing.T) {
+	ds := SyntheticDataset(Independent, 60, 3, 9)
+	q := Query{Q: ds.RandomQuery(3), K: 5, Epsilon: 0.15}
+	region, err := Solve(ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.IsEmpty() {
+		t.Skip("region empty for this instance")
+	}
+	u := region.Sample(4)
+	if u == nil || !region.Contains(u) {
+		t.Fatalf("sample %v not in region", u)
+	}
+	if m := region.Measure(5000); m <= 0 || m > 1 {
+		t.Fatalf("measure = %v", m)
+	}
+}
+
+func TestKSkybandPreprocessingPreservesAnswers(t *testing.T) {
+	ds := SyntheticDataset(Independent, 300, 3, 11)
+	q := Query{Q: ds.RandomQuery(5), K: 3, Epsilon: 0.1}
+	full, err := Solve(ds, q, WithAlgorithm(EPTAlgo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := ds.KSkyband(q.K)
+	if pruned.Len() >= ds.Len() {
+		t.Fatalf("skyband did not prune: %d of %d", pruned.Len(), ds.Len())
+	}
+	reduced, err := Solve(pruned, q, WithAlgorithm(EPTAlgo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only skyband points can rank in any top-k, so the answer region is
+	// unchanged by pruning.
+	if math.Abs(full.Measure(20000)-reduced.Measure(20000)) > 0.01 {
+		t.Fatalf("skyband pruning changed the answer: %v vs %v",
+			full.Measure(20000), reduced.Measure(20000))
+	}
+}
+
+func TestPBAIndexRoundTrip(t *testing.T) {
+	ds := SyntheticDataset(Independent, 25, 3, 13)
+	ix, err := BuildPBAIndex(ds, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Q: ds.RandomQuery(7), K: 2, Epsilon: 0.1}
+	got, err := ix.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Solve(ds, q, WithAlgorithm(EPTAlgo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Measure(20000)-want.Measure(20000)) > 0.01 {
+		t.Fatal("PBA+ index answer disagrees with E-PT")
+	}
+}
+
+func TestPBABudgetSurfaced(t *testing.T) {
+	ds := SyntheticDataset(Anticorrelated, 60, 3, 17)
+	_, err := BuildPBAIndex(ds, 5, 8)
+	if !errors.Is(err, ErrPBABudget) {
+		t.Fatalf("err = %v, want ErrPBABudget", err)
+	}
+}
+
+func TestRealDatasetAccess(t *testing.T) {
+	for _, name := range []string{"Island", "Weather", "Car", "NBA"} {
+		ds, err := RealDataset(name, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Len() != 500 {
+			t.Fatalf("%s: len %d", name, ds.Len())
+		}
+	}
+	if _, err := RealDataset("bogus", 10); err == nil {
+		t.Fatal("bogus real dataset accepted")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	ds, err := NewDataset([][]float64{{10, 100}, {20, 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ds.Normalize()
+	for i := 0; i < n.Len(); i++ {
+		for _, x := range n.PointAt(i) {
+			if x <= 0 || x > 1 {
+				t.Fatalf("normalized value %v out of (0,1]", x)
+			}
+		}
+	}
+	// Original untouched.
+	if ds.PointAt(0)[0] != 10 {
+		t.Fatal("Normalize mutated the receiver")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		Auto: "Auto", SweepingAlgo: "Sweeping", EPTAlgo: "E-PT",
+		APCAlgo: "A-PC", LPCTAAlgo: "LP-CTA", BruteForceAlgo: "BruteForce",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+func TestDynamicRegionAPI(t *testing.T) {
+	ds := table3Dataset(t)
+	q := Query{Q: Point{0.4, 0.7}, K: 2, Epsilon: 0.1}
+	dyn, err := NewDynamicRegion(ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dyn.Region().Measure(20000)
+	if before <= 0 {
+		t.Fatal("initial region should be non-empty")
+	}
+	// A dominating competitor shrinks the region.
+	if err := dyn.Insert(Point{0.95, 0.95}); err != nil {
+		t.Fatal(err)
+	}
+	mid := dyn.Region().Measure(20000)
+	if mid > before+1e-9 {
+		t.Fatalf("region grew after an insertion: %v -> %v", before, mid)
+	}
+	// Removing it restores the answer.
+	if err := dyn.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	after := dyn.Region().Measure(20000)
+	if math.Abs(after-before) > 0.02 {
+		t.Fatalf("region not restored after delete: %v vs %v", after, before)
+	}
+	if dyn.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", dyn.Len())
+	}
+	// The maintained region matches a fresh solve at all times.
+	fresh, err := Solve(ds, q, WithAlgorithm(EPTAlgo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dyn.Region().Measure(20000)-fresh.Measure(20000)) > 0.02 {
+		t.Fatal("dynamic region diverged from fresh solve")
+	}
+}
+
+func TestNewDatasetRejectsNaN(t *testing.T) {
+	if _, err := NewDataset([][]float64{{math.NaN(), 0.5}}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := NewDataset([][]float64{{math.Inf(1), 0.5}}); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestShareProfilePublicAPI(t *testing.T) {
+	ds := SyntheticDataset(Independent, 200, 3, 31)
+	q := ds.RandomQuery(7)
+	sp, err := NewShareProfile(ds, q, 5, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The curve must agree with a direct solve at ε = 0.1.
+	reg, err := Solve(ds, Query{Q: q, K: 5, Epsilon: 0.1}, WithAlgorithm(EPTAlgo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(sp.Share(0.1) - reg.Measure(20000)); diff > 0.02 {
+		t.Fatalf("profile and solve disagree by %v", diff)
+	}
+	if eps := sp.EpsForShare(0.5); sp.Share(eps) < 0.5-1e-9 {
+		t.Fatal("EpsForShare target not reached")
+	}
+}
+
+// Solvers and regions must be safe for concurrent use (solvers share no
+// state; regions are immutable). Run with -race.
+func TestConcurrentSolves(t *testing.T) {
+	ds := SyntheticDataset(Independent, 150, 3, 41)
+	region, err := Solve(ds, Query{Q: ds.RandomQuery(1), K: 3, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		go func() {
+			q := Query{Q: ds.RandomQuery(int64(w)), K: 2 + w%3, Epsilon: 0.05 * float64(1+w%3)}
+			r, err := Solve(ds, q)
+			if err != nil {
+				done <- err
+				return
+			}
+			// Concurrent reads of a shared region.
+			for i := 0; i < 50; i++ {
+				region.Contains(Vector{0.3, 0.3, 0.4})
+				r.NumPartitions()
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRegretMinimizingSet(t *testing.T) {
+	ds := SyntheticDataset(Anticorrelated, 300, 3, 21)
+	sel, mrr, err := RegretMinimizingSet(ds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) == 0 || len(sel) > 8 {
+		t.Fatalf("selected %d products", len(sel))
+	}
+	if mrr < 0 || mrr > 1 {
+		t.Fatalf("max regret %v out of range", mrr)
+	}
+	// Duality spot check: each selected product should command a
+	// non-trivial reverse-regret region of its own.
+	market := ds.KSkyband(1)
+	_ = market
+	region, err := Solve(ds, Query{Q: ds.PointAt(sel[0]), K: 1, Epsilon: math.Min(0.9, mrr+0.05)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.IsEmpty() {
+		t.Fatal("a greedy representative should qualify somewhere at ε > mrr")
+	}
+}
