@@ -1,0 +1,97 @@
+package rrq
+
+// Batch serving layer: one dataset's preprocessing shared across many
+// queries, fanned out over a bounded worker pool. The per-dataset work
+// (validation, optional k-skyband prefilter) is done once in Prepare;
+// each query then runs independently, with per-query error isolation and
+// deterministic, input-ordered results.
+
+import (
+	"context"
+
+	"rrq/internal/core"
+)
+
+// Prepared is a dataset bound to a solver configuration, ready to answer
+// many queries. It is safe for concurrent use: the underlying preprocessing
+// is immutable (the skyband cache is internally synchronized), so one
+// Prepared can serve Solve and SolveBatch calls from any number of
+// goroutines.
+type Prepared struct {
+	prep   *core.Prepared
+	solver core.Solver
+	cfg    config
+	dim    int
+}
+
+// Prepare validates the dataset once and fixes the solver configuration for
+// subsequent Solve/SolveBatch calls. The same Options as Solve apply;
+// WithSkybandPrefilter additionally makes every query run on the cached
+// k-skyband of its rank parameter.
+func Prepare(d *Dataset, opts ...Option) (*Prepared, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	prep, err := core.Prepare(d.points(), d.Dim(), cfg.skyband)
+	if err != nil {
+		return nil, err
+	}
+	s, err := solverFor(cfg, d.Dim())
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{prep: prep, solver: s, cfg: cfg, dim: d.Dim()}, nil
+}
+
+// Solve answers one query against the prepared dataset.
+func (p *Prepared) Solve(ctx context.Context, q Query) (*Region, Stats, error) {
+	cq := q.toCore()
+	r, st, err := p.solver.Solve(ctx, p.prep, cq)
+	if err != nil {
+		return nil, st, err
+	}
+	return &Region{inner: r, q: cq}, st, nil
+}
+
+// BatchResult is one query's outcome within a batch: the answer and its
+// work counters, or the per-query error. A failed query never affects its
+// neighbours.
+type BatchResult struct {
+	Region *Region
+	Stats  Stats
+	Err    error
+}
+
+// SolveBatch answers the queries concurrently over the shared
+// preprocessing, using the worker count fixed at Prepare time (WithWorkers;
+// ≤ 0 means GOMAXPROCS). Results arrive in query order regardless of
+// scheduling. When ctx is canceled mid-batch, in-flight solves abort at
+// their next amortized check (a deadline surfaces as ErrDeadline,
+// cancellation as ctx.Err()) and queries not yet started report ctx.Err()
+// without running.
+func (p *Prepared) SolveBatch(ctx context.Context, queries []Query) []BatchResult {
+	cqs := make([]core.Query, len(queries))
+	for i, q := range queries {
+		cqs[i] = q.toCore()
+	}
+	outs := core.SolveBatch(ctx, p.solver, p.prep, cqs, p.cfg.workers)
+	res := make([]BatchResult, len(outs))
+	for i, o := range outs {
+		res[i] = BatchResult{Stats: o.Stats, Err: o.Err}
+		if o.Err == nil {
+			res[i].Region = &Region{inner: o.Region, q: cqs[i]}
+		}
+	}
+	return res
+}
+
+// SolveBatch prepares the dataset once and answers all queries through a
+// bounded worker pool — the one-shot form of Prepare + Prepared.SolveBatch.
+func SolveBatch(ctx context.Context, d *Dataset, queries []Query, opts ...Option) ([]BatchResult, error) {
+	p, err := Prepare(d, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.SolveBatch(ctx, queries), nil
+}

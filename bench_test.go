@@ -6,6 +6,7 @@ package rrq
 // or paper scale and prints the plotted series.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -323,5 +324,35 @@ func BenchmarkShareProfile(b *testing.B) {
 		if _, err := core.NewShareProfile(pts, q, 2000, rng); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSolveBatch measures the parallel batch-query engine: one shared
+// Prepared (Indep, n = 10k, d = 4) serving 64 E-PT queries through worker
+// pools of increasing width.
+func BenchmarkSolveBatch(b *testing.B) {
+	pts := dataset.Generate(dataset.Independent, 10000, 4, 42)
+	prep, err := core.Prepare(pts, 4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	queries := make([]core.Query, 64)
+	for i := range queries {
+		queries[i] = core.Query{Q: dataset.RandQuery(rng, pts), K: 10, Eps: 0.1}
+	}
+	prep.PointsFor(10) // warm the skyband cache outside the timed region
+	ctx := context.Background()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				outs := core.SolveBatch(ctx, core.EPTSolver{}, prep, queries, workers)
+				for _, o := range outs {
+					if o.Err != nil {
+						b.Fatal(o.Err)
+					}
+				}
+			}
+		})
 	}
 }

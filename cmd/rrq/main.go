@@ -9,9 +9,11 @@
 //
 //	rrq -data cars.csv -q 0.45,0.2 -k 10 -eps 0.1
 //	rrq -data cars.csv -q 0.45,0.2 -k 10 -eps 0.1 -algo apc -samples 200
+//	rrq -data cars.csv -queries "0.45,0.2;0.5,0.3" -k 10 -workers 4 -timeout 30s
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +30,7 @@ func main() {
 	var (
 		dataPath = flag.String("data", "", "CSV dataset path (header + numeric rows)")
 		qStr     = flag.String("q", "", "query product, e.g. 0.45,0.2")
+		qsStr    = flag.String("queries", "", "batch of query products separated by ';', e.g. 0.45,0.2;0.5,0.3")
 		k        = flag.Int("k", 1, "rank relaxation k")
 		eps      = flag.Float64("eps", 0.1, "regret threshold ε")
 		algoStr  = flag.String("algo", "auto", "auto|sweeping|ept|apc|lpcta|brute")
@@ -36,11 +39,13 @@ func main() {
 		measureN = flag.Int("measure", 50000, "Monte-Carlo samples for the share estimate")
 		asJSON   = flag.Bool("json", false, "emit the region as JSON instead of text")
 		profile  = flag.Bool("profile", false, "print the market-share curve over ε instead of solving one query")
+		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
+		workers  = flag.Int("workers", 0, "worker pool size for -queries batches (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	if *dataPath == "" || *qStr == "" {
-		fmt.Fprintln(os.Stderr, "rrq: -data and -q are required")
+	if *dataPath == "" || (*qStr == "" && *qsStr == "") {
+		fmt.Fprintln(os.Stderr, "rrq: -data and one of -q / -queries are required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -64,10 +69,44 @@ func main() {
 		ds = ds.KSkyband(*k)
 	}
 
-	q, err := parsePoint(*qStr)
+	algo, err := parseAlgo(*algoStr)
 	fatal(err)
 
-	algo, err := parseAlgo(*algoStr)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *qsStr != "" {
+		opts := []rrq.Option{rrq.WithAlgorithm(algo), rrq.WithWorkers(*workers)}
+		if *samples > 0 {
+			opts = append(opts, rrq.WithSamples(*samples))
+		}
+		var queries []rrq.Query
+		for _, s := range strings.Split(*qsStr, ";") {
+			q, err := parsePoint(s)
+			fatal(err)
+			queries = append(queries, rrq.Query{Q: q, K: *k, Epsilon: *eps})
+		}
+		results, err := rrq.SolveBatch(ctx, ds, queries, opts...)
+		fatal(err)
+		fmt.Printf("dataset: %d products (after preprocessing), %d attributes\n", ds.Len(), ds.Dim())
+		fmt.Printf("batch:   %d queries  k=%d  eps=%.3f  algo=%v  workers=%d\n",
+			len(queries), *k, *eps, algo, *workers)
+		for i, res := range results {
+			if res.Err != nil {
+				fmt.Printf("  q%-3d %v  error: %v\n", i, queries[i].Q, res.Err)
+				continue
+			}
+			fmt.Printf("  q%-3d %v  %d partition(s), %.2f%% of the preference space\n",
+				i, queries[i].Q, res.Region.NumPartitions(), 100*res.Region.Measure(*measureN))
+		}
+		return
+	}
+
+	q, err := parsePoint(*qStr)
 	fatal(err)
 
 	if *profile {
@@ -87,7 +126,7 @@ func main() {
 	if *samples > 0 {
 		opts = append(opts, rrq.WithSamples(*samples))
 	}
-	region, err := rrq.Solve(ds, rrq.Query{Q: q, K: *k, Epsilon: *eps}, opts...)
+	region, err := rrq.SolveContext(ctx, ds, rrq.Query{Q: q, K: *k, Epsilon: *eps}, opts...)
 	fatal(err)
 
 	if *asJSON {

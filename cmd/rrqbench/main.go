@@ -56,8 +56,13 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		csvDir  = flag.String("csv", "", "also write each table as <dir>/<table-id>.csv")
 		budget  = flag.Duration("budget", 0, "per-cell wall-clock budget (0 = default)")
+		timeout = flag.Duration("timeout", 0, "alias of -budget: per-cell wall-clock budget (0 = default)")
+		workers = flag.Int("workers", 0, "worker count for the batch experiment (0 = sweep defaults)")
 	)
 	flag.Parse()
+	if *budget == 0 {
+		*budget = *timeout
+	}
 
 	if *list {
 		for _, id := range expt.IDs() {
@@ -66,7 +71,7 @@ func main() {
 		return
 	}
 
-	sc := expt.Scale{Full: *full, Seed: *seed, Repeats: *repeats, CellBudget: *budget}
+	sc := expt.Scale{Full: *full, Seed: *seed, Repeats: *repeats, CellBudget: *budget, Workers: *workers}
 	ids := expt.IDs()
 	if *exps != "all" {
 		ids = strings.Split(*exps, ",")

@@ -15,6 +15,7 @@
 package baseline
 
 import (
+	"context"
 	"time"
 
 	"rrq/internal/core"
@@ -24,9 +25,23 @@ import (
 )
 
 // LPCTAStats counts the work done by an LP-CTA run.
+//
+// Deprecated: the solvers now share core.Stats; LPCTAStats remains as the
+// return type of LPCTAWithStats/LPCTAWithDeadline for one release.
 type LPCTAStats struct {
 	LPSolves int
 	Nodes    int
+}
+
+// LPCTASolver adapts LP-CTA to the uniform core.Solver contract.
+type LPCTASolver struct{}
+
+// Name implements core.Solver.
+func (LPCTASolver) Name() string { return "LP-CTA" }
+
+// Solve implements core.Solver.
+func (LPCTASolver) Solve(ctx context.Context, prep *core.Prepared, q core.Query) (*core.Region, core.Stats, error) {
+	return LPCTAContext(ctx, prep.PointsFor(q.K), q)
 }
 
 // ctaNode is one node of the cell tree. Unlike the E-PT, cells are stored
@@ -55,71 +70,82 @@ func LPCTAWithStats(pts []vec.Vec, q core.Query) (*core.Region, LPCTAStats, erro
 	return LPCTAWithDeadline(pts, q, time.Time{})
 }
 
-// LPCTAWithDeadline aborts with core.ErrDeadline once the deadline passes
-// (checked between hyper-plane insertions).
+// LPCTAWithDeadline aborts with core.ErrDeadline once the deadline passes.
+//
+// Deprecated: pass a context to LPCTAContext instead (the deadline
+// parameter is kept as a thin wrapper over context.WithDeadline for one
+// release).
 func LPCTAWithDeadline(pts []vec.Vec, q core.Query, deadline time.Time) (*core.Region, LPCTAStats, error) {
-	var st LPCTAStats
+	ctx := context.Background()
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	r, st, err := LPCTAContext(ctx, pts, q)
+	return r, LPCTAStats{LPSolves: st.LPSolves, Nodes: st.NodesCreated}, err
+}
+
+// LPCTAContext runs LP-CTA under a context: cancellation and deadlines are
+// observed with one amortized check every 64 LP solves (an LP per node
+// visit is expensive, so a finer grain buys nothing). A passed deadline
+// surfaces as core.ErrDeadline, cancellation as ctx.Err().
+func LPCTAContext(ctx context.Context, pts []vec.Vec, q core.Query) (*core.Region, core.Stats, error) {
+	var st core.Stats
 	d := q.Q.Dim()
 	if err := q.Validate(d); err != nil {
 		return nil, st, err
+	}
+	check := core.NewCtxChecker(ctx, 0x3f)
+	if check.Failed() {
+		return nil, st, check.Err()
 	}
 	planes, base, err := queryPlanes(pts, q)
 	if err != nil {
 		return nil, st, err
 	}
+	st.PlanesBuilt = len(planes)
 	k := q.K - base
 	if k <= 0 {
 		return core.EmptyRegion(d), st, nil
 	}
 
 	root := &ctaNode{}
-	st.Nodes++
-	ctx := &ctaCtx{k: k, d: d, st: &st, deadline: deadline}
+	st.NodesCreated++
+	cc := &ctaCtx{k: k, d: d, st: &st, check: check}
 	for _, h := range planes {
-		ctaInsert(root, h, ctx)
-		if ctx.expired || (!deadline.IsZero() && time.Now().After(deadline)) {
-			return nil, st, core.ErrDeadline
+		st.PlanesInserted++
+		ctaInsert(root, h, cc)
+		if check.Failed() {
+			return nil, st, check.Err()
 		}
 	}
 
 	var cells []*geom.Cell
 	ctaCollect(root, d, &cells)
+	st.Pieces = len(cells)
 	if len(cells) == 0 {
 		return core.EmptyRegion(d), st, nil
 	}
 	return core.NewDisjointCellRegion(d, cells), st, nil
 }
 
-// ctaCtx carries the shared insertion state, including the deadline (an LP
-// per node visit is expensive, so the clock is sampled every 64 solves).
+// ctaCtx carries the shared insertion state, including the amortized
+// context checker.
 type ctaCtx struct {
-	k, d     int
-	st       *LPCTAStats
-	deadline time.Time
-	expired  bool
-}
-
-func (c *ctaCtx) checkDeadline() bool {
-	if c.expired {
-		return true
-	}
-	if c.deadline.IsZero() {
-		return false
-	}
-	if c.st.LPSolves&0x3f == 0 && time.Now().After(c.deadline) {
-		c.expired = true
-	}
-	return c.expired
+	k, d  int
+	st    *core.Stats
+	check *core.CtxChecker
 }
 
 // ctaInsert inserts one hyper-plane top-down, checking relationships by LP.
 // The minimum of u·w over the cell is solved first; the maximum is only
 // needed when the minimum is negative.
-func ctaInsert(n *ctaNode, h geom.Hyperplane, ctx *ctaCtx) {
-	if n.invalid || ctx.checkDeadline() {
+func ctaInsert(n *ctaNode, h geom.Hyperplane, cc *ctaCtx) {
+	if n.invalid || cc.check.Stop() {
 		return
 	}
-	k, d, st := ctx.k, ctx.d, ctx.st
+	k, d, st := cc.k, cc.d, cc.st
 	lo, hi, feasible := ctaRange(n, h, d, st)
 	if !feasible {
 		// Numerically collapsed cell: nothing to do.
@@ -135,7 +161,7 @@ func ctaInsert(n *ctaNode, h geom.Hyperplane, ctx *ctaCtx) {
 	default:
 		if len(n.children) > 0 {
 			for _, c := range n.children {
-				ctaInsert(c, h, ctx)
+				ctaInsert(c, h, cc)
 			}
 			return
 		}
@@ -149,7 +175,7 @@ func ctaInsert(n *ctaNode, h geom.Hyperplane, ctx *ctaCtx) {
 			signs:   appendInt(n.signs, +1),
 			q:       n.q,
 		}
-		st.Nodes += 2
+		st.NodesCreated += 2
 		if neg.q >= k {
 			neg.invalid = true
 		}
@@ -160,7 +186,7 @@ func ctaInsert(n *ctaNode, h geom.Hyperplane, ctx *ctaCtx) {
 // ctaRange computes min (and, only when needed, max) of u·Normal over the
 // node's cell. hi is +Inf-like (lo+1 above the threshold) when the minimum
 // alone already classifies the cell as positive.
-func ctaRange(n *ctaNode, h geom.Hyperplane, d int, st *LPCTAStats) (lo, hi float64, feasible bool) {
+func ctaRange(n *ctaNode, h geom.Hyperplane, d int, st *core.Stats) (lo, hi float64, feasible bool) {
 	minS, ok := ctaSolve(n, h, d, false, st)
 	if !ok {
 		return 0, 0, false
@@ -175,7 +201,7 @@ func ctaRange(n *ctaNode, h geom.Hyperplane, d int, st *LPCTAStats) (lo, hi floa
 	return minS, maxS, true
 }
 
-func ctaSolve(n *ctaNode, h geom.Hyperplane, d int, maximize bool, st *LPCTAStats) (float64, bool) {
+func ctaSolve(n *ctaNode, h geom.Hyperplane, d int, maximize bool, st *core.Stats) (float64, bool) {
 	st.LPSolves++
 	obj := h.Normal
 	aub := make([][]float64, 0, len(n.normals))

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -29,7 +31,7 @@ type PBAIndex struct {
 	// dominant cost unit; it is budgeted alongside Nodes.
 	Clips    int
 	maxClips int
-	deadline time.Time
+	check    *core.CtxChecker
 }
 
 type pbaNode struct {
@@ -53,13 +55,36 @@ const maxPBAVerts = 5000
 // result and are pruned first (the same preprocessing the original applies).
 // maxNodes caps index materialization; 0 means a default of 200000.
 func BuildPBA(pts []vec.Vec, kmax, maxNodes int) (*PBAIndex, error) {
-	return BuildPBAWithDeadline(pts, kmax, maxNodes, time.Time{})
+	return BuildPBAContext(context.Background(), pts, kmax, maxNodes)
 }
 
 // BuildPBAWithDeadline additionally bounds preprocessing by wall clock:
 // past the deadline the build aborts with ErrPBABudget (the harness's
 // analogue of the paper's >10⁴-second preprocessing entries).
+//
+// Deprecated: pass a context to BuildPBAContext instead (the deadline
+// parameter is kept as a thin wrapper over context.WithDeadline for one
+// release).
 func BuildPBAWithDeadline(pts []vec.Vec, kmax, maxNodes int, deadline time.Time) (*PBAIndex, error) {
+	ctx := context.Background()
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	ix, err := BuildPBAContext(ctx, pts, kmax, maxNodes)
+	if errors.Is(err, core.ErrDeadline) {
+		// Historical contract: a blown wall-clock budget surfaces as the
+		// preprocessing budget error.
+		return nil, ErrPBABudget
+	}
+	return ix, err
+}
+
+// BuildPBAContext bounds preprocessing by the context: a passed deadline
+// aborts the build with core.ErrDeadline, cancellation with ctx.Err(),
+// both observed with an amortized check per preprocessing clip.
+func BuildPBAContext(ctx context.Context, pts []vec.Vec, kmax, maxNodes int) (*PBAIndex, error) {
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("baseline: empty dataset")
 	}
@@ -79,7 +104,7 @@ func BuildPBAWithDeadline(pts []vec.Vec, kmax, maxNodes int, deadline time.Time)
 		kmax:     kmax,
 		pts:      skyband.Select(pts, band),
 		maxClips: 50 * maxNodes,
-		deadline: deadline,
+		check:    core.NewCtxChecker(ctx, 0x1ff),
 	}
 	ix.root = &pbaNode{cell: geom.NewSimplex(d), point: -1}
 	ix.Nodes = 1
@@ -106,8 +131,8 @@ func (ix *PBAIndex) build(n *pbaNode, remaining []int, maxNodes int) error {
 	if ix.Clips > ix.maxClips {
 		return ErrPBABudget
 	}
-	if !ix.deadline.IsZero() && time.Now().After(ix.deadline) {
-		return ErrPBABudget
+	if ix.check.Stop() {
+		return ix.check.Err()
 	}
 	cands := localSkyline(ix.pts, remaining)
 	for _, p := range cands {
@@ -131,8 +156,8 @@ func (ix *PBAIndex) build(n *pbaNode, remaining []int, maxNodes int) error {
 			if ix.Clips > ix.maxClips {
 				return ErrPBABudget
 			}
-			if ix.Clips&0x1ff == 0 && !ix.deadline.IsZero() && time.Now().After(ix.deadline) {
-				return ErrPBABudget
+			if ix.check.Stop() {
+				return ix.check.Err()
 			}
 			h := geom.NewHyperplane(w, ix.nextID)
 			cell = cell.Clip(h, +1)

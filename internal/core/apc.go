@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -19,14 +20,17 @@ type APCOptions struct {
 	Samples int
 	// Seed drives the deterministic sampler; ignored when Rng is set.
 	Seed int64
-	// Rng, when non-nil, supplies the randomness.
+	// Rng, when non-nil, supplies the randomness. Must be nil when the
+	// solver is shared across goroutines (SolveBatch).
 	Rng *rand.Rand
 	// Workers parallelizes the per-sample utility scans (the O(N·n·d)
 	// phase). ≤ 1 runs serially. The result is identical for any worker
 	// count: samples are drawn up front and merged in sample order.
 	Workers int
-	// Deadline, when non-zero, aborts the solve with ErrDeadline. It is
-	// checked between partition-construction clips.
+	// Deadline, when non-zero, aborts the solve with ErrDeadline.
+	//
+	// Deprecated: pass a context to APCContext instead (the field is kept
+	// as a thin wrapper over context.WithDeadline for one release).
 	Deadline time.Time
 }
 
@@ -48,14 +52,32 @@ func SampleSizeFor(rho, delta float64, d int) int {
 // partition is qualified in full; partitions never hit by a sample may be
 // missed, which is the approximation.
 func APC(pts []vec.Vec, q Query, opt APCOptions) (*Region, error) {
+	r, _, err := APCContext(context.Background(), pts, q, opt)
+	return r, err
+}
+
+// APCContext runs A-PC under a context: the sample-classification and
+// partition-construction loops observe cancellation with amortized checks.
+// A passed deadline surfaces as ErrDeadline, cancellation as ctx.Err().
+func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*Region, Stats, error) {
+	if !opt.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, opt.Deadline)
+		defer cancel()
+	}
+	var st Stats
 	d := q.Q.Dim()
 	if err := q.Validate(d); err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	for _, p := range pts {
 		if p.Dim() != d {
-			return nil, errDimMismatch(d, p.Dim())
+			return nil, st, errDimMismatch(d, p.Dim())
 		}
+	}
+	check := NewCtxChecker(ctx, 0xff)
+	if check.Failed() {
+		return nil, st, check.Err()
 	}
 	rng := opt.Rng
 	if rng == nil {
@@ -65,6 +87,7 @@ func APC(pts []vec.Vec, q Query, opt APCOptions) (*Region, error) {
 	if n <= 0 {
 		n = 10 * (d - 1)
 	}
+	st.Samples = n
 
 	// Sample and keep qualified utility vectors with their D⁻ sets. D⁻ has
 	// fewer than k elements for a qualified sample, so the sets stay tiny
@@ -106,22 +129,38 @@ func APC(pts []vec.Vec, q Query, opt APCOptions) (*Region, error) {
 	if opt.Workers > 1 {
 		var wg sync.WaitGroup
 		next := int64(0)
+		werrs := make([]error, opt.Workers)
 		for w := 0; w < opt.Workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				// A CtxChecker is not concurrency-safe; each worker
+				// amortizes its own checks over its share of samples.
+				wc := NewCtxChecker(ctx, 0x3f)
 				for {
 					i := int(atomic.AddInt64(&next, 1)) - 1
 					if i >= n {
 						return
 					}
+					if wc.Stop() {
+						werrs[w] = wc.Err()
+						return
+					}
 					negs[i], oks[i] = classify(us[i])
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
+		for _, err := range werrs {
+			if err != nil {
+				return nil, st, err
+			}
+		}
 	} else {
 		for i, u := range us {
+			if check.Stop() {
+				return nil, st, check.Err()
+			}
 			negs[i], oks[i] = classify(u)
 		}
 	}
@@ -132,7 +171,7 @@ func APC(pts []vec.Vec, q Query, opt APCOptions) (*Region, error) {
 		}
 	}
 	if len(kept) == 0 {
-		return emptyRegion(d), nil
+		return emptyRegion(d), st, nil
 	}
 
 	// Refinement (Algorithm 3 lines 6–12): D⁺_{u1} ⊆ D⁺_{u2} iff
@@ -181,18 +220,19 @@ func APC(pts []vec.Vec, q Query, opt APCOptions) (*Region, error) {
 		if already {
 			continue
 		}
-		c, err := buildPartition(pts, q, s.u, s.orig, s.negC, opt.Deadline)
+		c, err := buildPartition(pts, q, s.u, s.orig, s.negC, check)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
 		if c != nil {
 			cells = append(cells, c)
 		}
 	}
+	st.Pieces = len(cells)
 	if len(cells) == 0 {
-		return emptyRegion(d), nil
+		return emptyRegion(d), st, nil
 	}
-	return newCellRegion(d, cells), nil
+	return newCellRegion(d, cells), st, nil
 }
 
 // buildPartition intersects the simplex with h⁻ for every point in negC,
@@ -200,7 +240,7 @@ func APC(pts []vec.Vec, q Query, opt APCOptions) (*Region, error) {
 // unconstrained (paper §5.2.1–5.2.2). Planes that do not constrain the
 // current cell are skipped by Clip via the relation tests, so the cell
 // description stays small.
-func buildPartition(pts []vec.Vec, q Query, u vec.Vec, orig, negC []int32, deadline time.Time) (*geom.Cell, error) {
+func buildPartition(pts []vec.Vec, q Query, u vec.Vec, orig, negC []int32, check *CtxChecker) (*geom.Cell, error) {
 	d := q.Q.Dim()
 	scale := 1 - q.Eps
 	cell := geom.NewSimplex(d)
@@ -213,8 +253,8 @@ func buildPartition(pts []vec.Vec, q Query, u vec.Vec, orig, negC []int32, deadl
 		isNeg[j] = true
 	}
 	for j, p := range pts {
-		if j&0xff == 0xff && !deadline.IsZero() && time.Now().After(deadline) {
-			return nil, ErrDeadline
+		if check.Stop() {
+			return nil, check.Err()
 		}
 		sign := +1
 		switch {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -12,13 +13,26 @@ import (
 // of the utility segment and counting negative half-spaces at each
 // partition midpoint directly. O(n²); reference implementation for tests.
 func BruteForce2D(pts []vec.Vec, q Query) (*Region, error) {
+	r, _, err := BruteForce2DContext(context.Background(), pts, q)
+	return r, err
+}
+
+// BruteForce2DContext is BruteForce2D under a context with work counters;
+// cancellation is observed once per enumerated partition.
+func BruteForce2DContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stats, error) {
+	var st Stats
 	if err := q.Validate(2); err != nil {
-		return nil, err
+		return nil, st, err
+	}
+	check := NewCtxChecker(ctx, 0xff)
+	if check.Failed() {
+		return nil, st, check.Err()
 	}
 	ps := buildPlanes(pts, q)
+	st.PlanesBuilt = len(ps.crossing)
 	k := ps.kEff(q.K)
 	if k <= 0 {
-		return emptyRegion(2), nil
+		return emptyRegion(2), st, nil
 	}
 	cuts := []float64{0, 1}
 	for _, h := range ps.crossing {
@@ -29,6 +43,9 @@ func BruteForce2D(pts []vec.Vec, q Query) (*Region, error) {
 
 	var out [][2]float64
 	for i := 0; i+1 < len(cuts); i++ {
+		if check.Stop() {
+			return nil, st, check.Err()
+		}
 		a, b := cuts[i], cuts[i+1]
 		if b-a <= geom.Tol {
 			continue
@@ -46,10 +63,11 @@ func BruteForce2D(pts []vec.Vec, q Query) (*Region, error) {
 		}
 	}
 	merged := MergeIntervals(out)
+	st.Pieces = len(merged)
 	if len(merged) == 0 {
-		return emptyRegion(2), nil
+		return emptyRegion(2), st, nil
 	}
-	return newIntervalRegion(merged), nil
+	return newIntervalRegion(merged), st, nil
 }
 
 // BruteForceND solves RRQ exactly in any dimension by materializing the
@@ -57,17 +75,30 @@ func BruteForce2D(pts []vec.Vec, q Query) (*Region, error) {
 // pruning, reduction or laziness. Exponential in the number of planes;
 // guarded by maxPlanes and intended purely as a test oracle.
 func BruteForceND(pts []vec.Vec, q Query, maxPlanes int) (*Region, error) {
+	r, _, err := BruteForceNDContext(context.Background(), pts, q, maxPlanes)
+	return r, err
+}
+
+// BruteForceNDContext is BruteForceND under a context with work counters;
+// cancellation is observed with an amortized check per cell/plane pair.
+func BruteForceNDContext(ctx context.Context, pts []vec.Vec, q Query, maxPlanes int) (*Region, Stats, error) {
+	var st Stats
 	d := q.Q.Dim()
 	if err := q.Validate(d); err != nil {
-		return nil, err
+		return nil, st, err
+	}
+	check := NewCtxChecker(ctx, 0xff)
+	if check.Failed() {
+		return nil, st, check.Err()
 	}
 	ps := buildPlanes(pts, q)
+	st.PlanesBuilt = len(ps.crossing)
 	if len(ps.crossing) > maxPlanes {
-		return nil, fmt.Errorf("core: brute force limited to %d planes, have %d", maxPlanes, len(ps.crossing))
+		return nil, st, fmt.Errorf("core: brute force limited to %d planes, have %d", maxPlanes, len(ps.crossing))
 	}
 	k := ps.kEff(q.K)
 	if k <= 0 {
-		return emptyRegion(d), nil
+		return emptyRegion(d), st, nil
 	}
 	type entry struct {
 		cell *geom.Cell
@@ -75,8 +106,12 @@ func BruteForceND(pts []vec.Vec, q Query, maxPlanes int) (*Region, error) {
 	}
 	cells := []entry{{cell: geom.NewSimplex(d)}}
 	for _, h := range ps.crossing {
+		st.PlanesInserted++
 		next := cells[:0:0]
 		for _, e := range cells {
+			if check.Stop() {
+				return nil, st, check.Err()
+			}
 			switch e.cell.Relation(h) {
 			case geom.RelNeg:
 				next = append(next, entry{e.cell, e.neg + 1})
@@ -100,8 +135,9 @@ func BruteForceND(pts []vec.Vec, q Query, maxPlanes int) (*Region, error) {
 			out = append(out, e.cell)
 		}
 	}
+	st.Pieces = len(out)
 	if len(out) == 0 {
-		return emptyRegion(d), nil
+		return emptyRegion(d), st, nil
 	}
-	return NewDisjointCellRegion(d, out), nil
+	return NewDisjointCellRegion(d, out), st, nil
 }

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rrq/internal/skyband"
+	"rrq/internal/vec"
+)
+
+// ErrDeadline is returned when a solver exceeds its deadline, whether it
+// was given as a context deadline or through one of the deprecated
+// Deadline option fields.
+var ErrDeadline = errors.New("core: deadline exceeded")
+
+// MapContextErr translates a context error into the solver error
+// vocabulary: context.DeadlineExceeded becomes ErrDeadline (preserving the
+// error every caller already matches on), while cancellation and other
+// errors pass through unchanged.
+func MapContextErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrDeadline
+	}
+	return err
+}
+
+// CtxChecker amortizes context cancellation checks over a solver's hot
+// loop: Stop consults ctx.Err() only once every mask+1 calls, so a single
+// check costs a counter increment rather than an atomic load of the
+// context state. A checker is not safe for concurrent use; parallel
+// phases create one per worker.
+type CtxChecker struct {
+	ctx  context.Context
+	mask uint32
+	n    uint32
+	err  error
+}
+
+// NewCtxChecker builds a checker that samples ctx every mask+1 Stop calls
+// (mask must be 2^m − 1). A context that can never be canceled
+// (ctx.Done() == nil, e.g. context.Background()) disables checking
+// entirely; an already-expired context trips the checker immediately, so
+// solvers fail fast before doing any work.
+func NewCtxChecker(ctx context.Context, mask uint32) *CtxChecker {
+	if ctx == nil || ctx.Done() == nil {
+		return &CtxChecker{}
+	}
+	return &CtxChecker{ctx: ctx, mask: mask, err: ctx.Err()}
+}
+
+// Stop counts one unit of work and reports whether the solve should abort.
+func (c *CtxChecker) Stop() bool {
+	if c.err != nil {
+		return true
+	}
+	if c.ctx == nil {
+		return false
+	}
+	if c.n++; c.n&c.mask == 0 {
+		c.err = c.ctx.Err()
+	}
+	return c.err != nil
+}
+
+// Failed reports whether an earlier Stop observed cancellation, without
+// consulting the context again.
+func (c *CtxChecker) Failed() bool { return c.err != nil }
+
+// Err returns the abort cause in solver vocabulary (ErrDeadline for a
+// passed deadline, context.Canceled for cancellation), or nil.
+func (c *CtxChecker) Err() error { return MapContextErr(c.err) }
+
+// Stats is the common work-counter type reported by every solver. It
+// generalizes the former EPTStats: each solver fills the counters that
+// apply to it and leaves the rest zero.
+type Stats struct {
+	PlanesBuilt    int // crossing planes before reduction
+	PlanesInserted int // planes surviving reduction / entering the sweep
+	NodesCreated   int // tree nodes allocated (E-PT, LP-CTA)
+	Splits         int // lazy splits performed (E-PT)
+	LPSolves       int // simplex LP solves (LP-CTA)
+	Samples        int // utility samples classified (A-PC)
+	Pieces         int // partitions in the returned region
+}
+
+// Prepared captures the per-dataset work that every solver used to repeat
+// on each call: dimension validation and, when enabled, the k-skyband
+// prefilter, cached per k so that a batch of queries sharing a rank
+// parameter computes it once. A Prepared is safe for concurrent use.
+type Prepared struct {
+	pts     []vec.Vec
+	dim     int
+	skyband bool
+
+	mu    sync.Mutex
+	bands map[int][]vec.Vec
+}
+
+// Prepare validates pts against dim once and returns the reusable
+// preprocessing handle. When skybandPrefilter is set, PointsFor(k) serves
+// the cached k-skyband instead of the full point set — sound for reverse
+// regret queries because a point dominated by ≥ k others can only count
+// against q on preferences where its dominators already do.
+func Prepare(pts []vec.Vec, dim int, skybandPrefilter bool) (*Prepared, error) {
+	if dim < 2 {
+		return nil, fmt.Errorf("core: dimension %d < 2", dim)
+	}
+	for i, p := range pts {
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("core: point %d has dimension %d, want %d", i, p.Dim(), dim)
+		}
+	}
+	return &Prepared{pts: pts, dim: dim, skyband: skybandPrefilter}, nil
+}
+
+// Dim returns the validated dataset dimension.
+func (p *Prepared) Dim() int { return p.dim }
+
+// Len returns the full dataset size.
+func (p *Prepared) Len() int { return len(p.pts) }
+
+// Points returns the full validated point set (not copied; callers must
+// not mutate).
+func (p *Prepared) Points() []vec.Vec { return p.pts }
+
+// PointsFor returns the point set a solver should run on for rank k: the
+// cached k-skyband when prefiltering is enabled, the full set otherwise.
+func (p *Prepared) PointsFor(k int) []vec.Vec {
+	if !p.skyband || k < 1 {
+		return p.pts
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.bands[k]; ok {
+		return b
+	}
+	if p.bands == nil {
+		p.bands = make(map[int][]vec.Vec)
+	}
+	b := skyband.Select(p.pts, skyband.KSkyband(p.pts, k))
+	p.bands[k] = b
+	return b
+}
+
+// Solver is the uniform solving contract every algorithm implements:
+// cancellable via ctx (deadlines surface as ErrDeadline, cancellation as
+// context.Canceled), fed from shared per-dataset preprocessing, and
+// reporting common work counters. Implementations must be stateless or
+// internally synchronized: SolveBatch calls Solve concurrently.
+type Solver interface {
+	Name() string
+	Solve(ctx context.Context, prep *Prepared, q Query) (*Region, Stats, error)
+}
+
+// SweepingSolver answers 2-d queries with the linear-time sweep (§4).
+type SweepingSolver struct{}
+
+func (SweepingSolver) Name() string { return "Sweeping" }
+
+func (SweepingSolver) Solve(ctx context.Context, prep *Prepared, q Query) (*Region, Stats, error) {
+	return SweepingContext(ctx, prep.PointsFor(q.K), q)
+}
+
+// EPTSolver answers queries exactly with the partition tree (§5.1).
+type EPTSolver struct {
+	Opt EPTOptions
+}
+
+func (EPTSolver) Name() string { return "E-PT" }
+
+func (s EPTSolver) Solve(ctx context.Context, prep *Prepared, q Query) (*Region, Stats, error) {
+	return EPTContext(ctx, prep.PointsFor(q.K), q, s.Opt)
+}
+
+// APCSolver answers queries approximately by progressive construction
+// (§5.2). Opt.Rng must be nil when the solver is used concurrently; seeds
+// are deterministic per query, so batch answers match sequential ones.
+type APCSolver struct {
+	Opt APCOptions
+}
+
+func (APCSolver) Name() string { return "A-PC" }
+
+func (s APCSolver) Solve(ctx context.Context, prep *Prepared, q Query) (*Region, Stats, error) {
+	return APCContext(ctx, prep.PointsFor(q.K), q, s.Opt)
+}
+
+// BruteForceSolver is the exact reference solver: the direct 2-d crossing
+// enumeration, or the full arrangement in higher dimensions (bounded by
+// MaxPlanes, default 64).
+type BruteForceSolver struct {
+	MaxPlanes int
+}
+
+func (BruteForceSolver) Name() string { return "BruteForce" }
+
+func (s BruteForceSolver) Solve(ctx context.Context, prep *Prepared, q Query) (*Region, Stats, error) {
+	pts := prep.PointsFor(q.K)
+	if prep.Dim() == 2 {
+		return BruteForce2DContext(ctx, pts, q)
+	}
+	maxPlanes := s.MaxPlanes
+	if maxPlanes <= 0 {
+		maxPlanes = 64
+	}
+	return BruteForceNDContext(ctx, pts, q, maxPlanes)
+}
+
+// BatchOutcome is one query's result within a batch: the answer, the work
+// counters, or the per-query error (other queries are unaffected).
+type BatchOutcome struct {
+	Region *Region
+	Stats  Stats
+	Err    error
+}
+
+// SolveBatch answers queries over one shared Prepared with a bounded
+// worker pool. Results are returned in query order regardless of worker
+// count and scheduling; errors are isolated per query. When ctx is
+// canceled mid-batch, queries not yet started report ctx.Err() (e.g.
+// context.Canceled) while in-flight solves abort at their next amortized
+// check. workers ≤ 0 uses GOMAXPROCS.
+func SolveBatch(ctx context.Context, s Solver, prep *Prepared, queries []Query, workers int) []BatchOutcome {
+	out := make([]BatchOutcome, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	solveOne := func(i int) {
+		if err := ctx.Err(); err != nil {
+			// Same vocabulary as an in-flight abort: ErrDeadline for a
+			// passed deadline, context.Canceled for cancellation.
+			out[i].Err = MapContextErr(err)
+			return
+		}
+		out[i].Region, out[i].Stats, out[i].Err = s.Solve(ctx, prep, queries[i])
+	}
+	if workers == 1 {
+		for i := range queries {
+			solveOne(i)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				solveOne(i)
+			}
+		}()
+	}
+	for i := range queries {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

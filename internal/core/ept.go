@@ -1,7 +1,7 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -10,9 +10,6 @@ import (
 	"rrq/internal/skyband"
 	"rrq/internal/vec"
 )
-
-// ErrDeadline is returned when a solver exceeds its optional deadline.
-var ErrDeadline = errors.New("core: deadline exceeded")
 
 // eptNode is one node of the partition tree (paper §5.1.1). Leaves carry
 // the lazy hyper-plane set H(N); internal nodes carry two children that
@@ -27,14 +24,11 @@ type eptNode struct {
 
 func (n *eptNode) leaf() bool { return len(n.children) == 0 }
 
-// EPTStats reports work counters from an E-PT run, used by the ablation
-// benchmarks.
-type EPTStats struct {
-	PlanesBuilt    int // crossing planes before reduction
-	PlanesInserted int // planes surviving the Lemma 5.2 reduction
-	NodesCreated   int // tree nodes allocated
-	Splits         int // lazy splits performed
-}
+// EPTStats reports work counters from an E-PT run.
+//
+// Deprecated: EPTStats is the common Stats type; every solver now reports
+// the same counters. Use Stats.
+type EPTStats = Stats
 
 // EPTOptions disables individual accelerations of §5.1.2, for the ablation
 // benchmarks. The zero value runs the full algorithm.
@@ -46,9 +40,10 @@ type EPTOptions struct {
 	// NoLazySplit splits leaves eagerly on every crossing plane instead of
 	// deferring through H(N).
 	NoLazySplit bool
-	// Deadline, when non-zero, aborts the solve with ErrDeadline. It is
-	// checked between hyper-plane insertions, so overshoot is bounded by
-	// one insertion.
+	// Deadline, when non-zero, aborts the solve with ErrDeadline.
+	//
+	// Deprecated: pass a context to EPTContext instead (the field is kept
+	// as a thin wrapper over context.WithDeadline for one release).
 	Deadline time.Time
 }
 
@@ -63,13 +58,26 @@ func EPT(pts []vec.Vec, q Query) (*Region, error) {
 }
 
 // EPTWithStats is EPT plus work counters.
-func EPTWithStats(pts []vec.Vec, q Query) (*Region, EPTStats, error) {
+func EPTWithStats(pts []vec.Vec, q Query) (*Region, Stats, error) {
 	return EPTWithOptions(pts, q, EPTOptions{})
 }
 
 // EPTWithOptions runs E-PT with selected accelerations disabled.
-func EPTWithOptions(pts []vec.Vec, q Query, opt EPTOptions) (*Region, EPTStats, error) {
-	var st EPTStats
+func EPTWithOptions(pts []vec.Vec, q Query, opt EPTOptions) (*Region, Stats, error) {
+	return EPTContext(context.Background(), pts, q, opt)
+}
+
+// EPTContext runs E-PT under a context: cancellation and deadlines are
+// observed with one amortized check every few thousand node visits, so a
+// Solve aborts within one check interval of the context firing. A passed
+// deadline surfaces as ErrDeadline, cancellation as ctx.Err().
+func EPTContext(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions) (*Region, Stats, error) {
+	if !opt.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, opt.Deadline)
+		defer cancel()
+	}
+	var st Stats
 	d := q.Q.Dim()
 	if err := q.Validate(d); err != nil {
 		return nil, st, err
@@ -78,6 +86,10 @@ func EPTWithOptions(pts []vec.Vec, q Query, opt EPTOptions) (*Region, EPTStats, 
 		if p.Dim() != d {
 			return nil, st, errDimMismatch(d, p.Dim())
 		}
+	}
+	check := NewCtxChecker(ctx, 0xfff)
+	if check.Failed() {
+		return nil, st, check.Err()
 	}
 	ps := buildPlanes(pts, q)
 	st.PlanesBuilt = len(ps.crossing)
@@ -92,18 +104,19 @@ func EPTWithOptions(pts []vec.Vec, q Query, opt EPTOptions) (*Region, EPTStats, 
 	}
 	st.PlanesInserted = len(planes)
 
-	t := &eptTree{k: k, stats: &st, eager: opt.NoLazySplit, deadline: opt.Deadline}
+	t := &eptTree{k: k, stats: &st, eager: opt.NoLazySplit, check: check}
 	t.root = &eptNode{cell: geom.NewSimplex(d)}
 	st.NodesCreated++
 	for _, h := range planes {
 		t.insert(t.root, h)
-		if t.expired || (!opt.Deadline.IsZero() && time.Now().After(opt.Deadline)) {
-			return nil, st, ErrDeadline
+		if check.Failed() {
+			return nil, st, check.Err()
 		}
 	}
 
 	var cells []*geom.Cell
 	t.collect(t.root, &cells)
+	st.Pieces = len(cells)
 	if len(cells) == 0 {
 		return emptyRegion(d), st, nil
 	}
@@ -180,30 +193,11 @@ func reduceAndOrderPlanesOpt(planes []geom.Hyperplane, k int, noReduce, noOrder 
 }
 
 type eptTree struct {
-	root     *eptNode
-	k        int
-	stats    *EPTStats
-	eager    bool // ablation: split on every crossing plane immediately
-	deadline time.Time
-	visits   int  // node visits since the last deadline check
-	expired  bool // deadline has fired; abandon remaining work
-}
-
-// checkDeadline samples the clock every few thousand node visits so that a
-// single insertion into a very large tree cannot overshoot the deadline by
-// more than a bounded amount of work.
-func (t *eptTree) checkDeadline() bool {
-	if t.expired {
-		return true
-	}
-	if t.deadline.IsZero() {
-		return false
-	}
-	t.visits++
-	if t.visits&0xfff == 0 && time.Now().After(t.deadline) {
-		t.expired = true
-	}
-	return t.expired
+	root  *eptNode
+	k     int
+	stats *Stats
+	eager bool // ablation: split on every crossing plane immediately
+	check *CtxChecker
 }
 
 // needSplit is the lazy-split trigger; in eager mode any pending plane
@@ -217,7 +211,7 @@ func (t *eptTree) needSplit(n *eptNode) bool {
 
 // insert performs the top-down insertion of Algorithm 2.
 func (t *eptTree) insert(n *eptNode, h geom.Hyperplane) {
-	if n.invalid || t.checkDeadline() {
+	if n.invalid || t.check.Stop() {
 		return
 	}
 	switch n.cell.Relation(h) {
@@ -243,7 +237,7 @@ func (t *eptTree) insert(n *eptNode, h geom.Hyperplane) {
 // (Case 1, with the Lemma 5.3 shortcut: descendants inherit the coverage
 // without re-running geometric checks).
 func (t *eptTree) coverNeg(n *eptNode) {
-	if n.invalid || t.checkDeadline() {
+	if n.invalid || t.check.Stop() {
 		return
 	}
 	n.q++
@@ -267,7 +261,7 @@ func (t *eptTree) coverNeg(n *eptNode) {
 // Refine). The loop also absorbs numerically degenerate splits where one
 // side vanishes.
 func (t *eptTree) lazySplit(n *eptNode) {
-	for !n.invalid && n.leaf() && t.needSplit(n) && !t.checkDeadline() {
+	for !n.invalid && n.leaf() && t.needSplit(n) && !t.check.Stop() {
 		if len(n.lazy) == 0 {
 			// q ≥ k without pending planes: disqualified outright.
 			n.invalid = true

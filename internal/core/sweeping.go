@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -20,21 +21,35 @@ import (
 // ranked exclusive and the k-th ranked inclusive crossings, and the counter
 // update per event is O(1) (Lemma 4.3).
 func Sweeping(pts []vec.Vec, q Query) (*Region, error) {
+	r, _, err := SweepingContext(context.Background(), pts, q)
+	return r, err
+}
+
+// SweepingContext is Sweeping under a context with work counters. The
+// sweep is linear, so cancellation is observed once before the scan and
+// once before the event sweep rather than per element.
+func SweepingContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stats, error) {
+	var st Stats
 	if err := q.Validate(2); err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	if q.Q.Dim() != 2 {
-		return nil, fmt.Errorf("core: Sweeping requires d = 2, got %d", q.Q.Dim())
+		return nil, st, fmt.Errorf("core: Sweeping requires d = 2, got %d", q.Q.Dim())
 	}
 	for _, p := range pts {
 		if p.Dim() != 2 {
-			return nil, fmt.Errorf("core: Sweeping requires 2-d points")
+			return nil, st, fmt.Errorf("core: Sweeping requires 2-d points")
 		}
 	}
+	check := NewCtxChecker(ctx, 0)
+	if check.Failed() {
+		return nil, st, check.Err()
+	}
 	ps := buildPlanes(pts, q)
+	st.PlanesBuilt = len(ps.crossing)
 	k := ps.kEff(q.K)
 	if k <= 0 {
-		return emptyRegion(2), nil
+		return emptyRegion(2), st, nil
 	}
 
 	// Crossing parameters on L: u·w = 0 at t* = w2 / (w2 − w1).
@@ -61,7 +76,10 @@ func Sweeping(pts []vec.Vec, q Query) (*Region, error) {
 		tLo = topk.KthMax(excl, k)
 	}
 	if tLo >= tHi-geom.Tol {
-		return emptyRegion(2), nil
+		return emptyRegion(2), st, nil
+	}
+	if check.Stop() {
+		return nil, st, check.Err()
 	}
 
 	// Initial counter at the window start: inclusive planes already passed
@@ -89,6 +107,7 @@ func Sweeping(pts []vec.Vec, q Query) (*Region, error) {
 		}
 	}
 	sort.Slice(events, func(a, b int) bool { return events[a].t < events[b].t })
+	st.PlanesInserted = len(events)
 
 	// Sweep the O(k) surviving partitions with an O(1) counter update.
 	var out [][2]float64
@@ -111,10 +130,11 @@ func Sweeping(pts []vec.Vec, q Query) (*Region, error) {
 	emit(prev, tHi)
 
 	merged := MergeIntervals(out)
+	st.Pieces = len(merged)
 	if len(merged) == 0 {
-		return emptyRegion(2), nil
+		return emptyRegion(2), st, nil
 	}
-	return newIntervalRegion(merged), nil
+	return newIntervalRegion(merged), st, nil
 }
 
 // kthSmallest returns the k-th smallest element of xs (1-based).

@@ -5,6 +5,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -32,6 +33,9 @@ type Scale struct {
 	// and real-dataset cap — used by the smoke tests to run every figure
 	// in miniature.
 	SizeOverride int
+	// Workers bounds the worker pool of the batch experiment; ≤ 0 lets the
+	// experiment sweep its default worker counts.
+	Workers int
 }
 
 func (s Scale) withDefaults() Scale {
@@ -228,6 +232,14 @@ type algoSet struct {
 	pba      bool
 }
 
+// cellCtx returns a context carrying the scale's per-cell wall-clock budget.
+func cellCtx(sc Scale) (context.Context, context.CancelFunc) {
+	if sc.CellBudget <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), sc.CellBudget)
+}
+
 // run measures every requested solver on the instance.
 func run(in instance, algos algoSet, sc Scale) []Cell {
 	var cells []Cell
@@ -239,27 +251,30 @@ func run(in instance, algos algoSet, sc Scale) []Cell {
 		cells = append(cells, cellOrSkip("Sweeping", secs, err))
 	}
 	if algos.ept {
-		deadline := time.Now().Add(sc.CellBudget)
+		ctx, cancel := cellCtx(sc)
 		secs, err := timeIt(in, sc.CellBudget, func(q core.Query) error {
-			_, _, e := core.EPTWithOptions(in.pts, q, core.EPTOptions{Deadline: deadline})
+			_, _, e := core.EPTContext(ctx, in.pts, q, core.EPTOptions{})
 			return e
 		})
+		cancel()
 		cells = append(cells, cellOrSkip("E-PT", secs, err))
 	}
 	if algos.apc {
-		deadline := time.Now().Add(sc.CellBudget)
+		ctx, cancel := cellCtx(sc)
 		secs, err := timeIt(in, sc.CellBudget, func(q core.Query) error {
-			_, e := core.APC(in.pts, q, core.APCOptions{Seed: 1, Deadline: deadline})
+			_, _, e := core.APCContext(ctx, in.pts, q, core.APCOptions{Seed: 1})
 			return e
 		})
+		cancel()
 		cells = append(cells, cellOrSkip("A-PC", secs, err))
 	}
 	if algos.lpcta {
-		deadline := time.Now().Add(sc.CellBudget)
+		ctx, cancel := cellCtx(sc)
 		secs, err := timeIt(in, sc.CellBudget, func(q core.Query) error {
-			_, _, e := baseline.LPCTAWithDeadline(in.pts, q, deadline)
+			_, _, e := baseline.LPCTAContext(ctx, in.pts, q)
 			return e
 		})
+		cancel()
 		cells = append(cells, cellOrSkip("LP-CTA", secs, err))
 	}
 	if algos.pba {
@@ -272,7 +287,9 @@ func run(in instance, algos algoSet, sc Scale) []Cell {
 // query time, exactly as §6.1 does) and times queries. A blown budget is
 // reported as skipped — the analogue of the paper's ">10⁴ s" omissions.
 func runPBA(in instance, sc Scale) Cell {
-	ix, err := baseline.BuildPBAWithDeadline(in.pts, in.k, sc.PBABudget, time.Now().Add(sc.CellBudget))
+	ctx, cancel := cellCtx(sc)
+	defer cancel()
+	ix, err := baseline.BuildPBAContext(ctx, in.pts, in.k, sc.PBABudget)
 	if err != nil {
 		return Cell{Algo: "PBA+", Skipped: true, Note: err.Error()}
 	}

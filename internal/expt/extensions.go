@@ -40,14 +40,14 @@ func ExtAblation(sc Scale) []*Table {
 	}
 	t := &Table{ID: "ext-ablation", Title: "E-PT acceleration ablation (4-d Indep)", ParamCol: "variant"}
 	for _, v := range variants {
-		opt := v.opt
-		opt.Deadline = time.Now().Add(sc.CellBudget)
+		ctx, cancel := cellCtx(sc)
 		var planes, nodes int
 		secs, err := timeIt(in, sc.CellBudget, func(q core.Query) error {
-			_, st, e := core.EPTWithOptions(in.pts, q, opt)
+			_, st, e := core.EPTContext(ctx, in.pts, q, v.opt)
 			planes, nodes = st.PlanesInserted, st.NodesCreated
 			return e
 		})
+		cancel()
 		row := Row{Param: v.name, Cells: []Cell{cellOrSkip("E-PT", secs, err)}}
 		if err == nil {
 			row.Extra = map[string]float64{
@@ -93,14 +93,15 @@ func ExtDynamic(sc Scale) []*Table {
 		cur := append([]vec.Vec(nil), in.pts...)
 		start = time.Now()
 		resolveErr := error(nil)
-		deadline := time.Now().Add(sc.CellBudget)
+		ctx, cancel := cellCtx(sc)
 		for _, p := range newPts {
 			cur = append(cur, p)
-			if _, _, err := core.EPTWithOptions(cur, q, core.EPTOptions{Deadline: deadline}); err != nil {
+			if _, _, err := core.EPTContext(ctx, cur, q, core.EPTOptions{}); err != nil {
 				resolveErr = err
 				break
 			}
 		}
+		cancel()
 		resSecs := time.Since(start).Seconds()
 
 		row := Row{Param: fmt.Sprintf("%d", inserts), Cells: []Cell{

@@ -18,6 +18,7 @@
 package rrq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -92,7 +93,14 @@ func (d *Dataset) Normalize() *Dataset {
 // KSkyband returns the sub-dataset of points dominated by fewer than k
 // others — the standard preprocessing applied before reverse queries, since
 // points outside the k-skyband can never rank within any top-k.
+//
+// For k ≤ 0 the result is the empty dataset (with the dimension preserved):
+// no point is dominated by fewer than zero others, so the 0-skyband is empty
+// by definition rather than an error.
 func (d *Dataset) KSkyband(k int) *Dataset {
+	if k <= 0 {
+		return &Dataset{pts: nil, dim: d.dim}
+	}
 	idx := skyband.KSkyband(d.pts, k)
 	return &Dataset{pts: skyband.Select(d.pts, idx), dim: d.dim}
 }
@@ -149,13 +157,20 @@ func (a Algorithm) String() string {
 	}
 }
 
-// Option configures Solve.
+// Stats reports the work counters of a solve: planes built and inserted,
+// tree nodes, LP solves, samples, and the piece count of the answer. Each
+// solver fills the counters that apply to it.
+type Stats = core.Stats
+
+// Option configures Solve, SolveContext, SolveBatch and Prepare.
 type Option func(*config)
 
 type config struct {
 	algo    Algorithm
 	samples int
 	seed    int64
+	workers int
+	skyband bool
 }
 
 // WithAlgorithm forces a specific solver.
@@ -167,48 +182,77 @@ func WithSamples(n int) Option { return func(c *config) { c.samples = n } }
 // WithSeed seeds the randomized parts of A-PC.
 func WithSeed(s int64) Option { return func(c *config) { c.seed = s } }
 
-// Solve answers the reverse regret query over the dataset.
-func Solve(d *Dataset, q Query, opts ...Option) (*Region, error) {
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
-	}
-	cq := q.toCore()
+// WithWorkers bounds the worker pool of SolveBatch (and Prepared.SolveBatch).
+// n ≤ 0 (the default) uses GOMAXPROCS.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithSkybandPrefilter enables the k-skyband prefilter: solvers run on the
+// cached k-skyband of the dataset instead of the full point set. The
+// qualified region is unchanged (a point dominated by ≥ k others only counts
+// against q on preferences where its dominators already do), but its convex
+// decomposition — and therefore its JSON encoding — may differ, which is why
+// the prefilter is off by default.
+func WithSkybandPrefilter(on bool) Option { return func(c *config) { c.skyband = on } }
+
+// solverFor maps the configured algorithm to its core.Solver.
+func solverFor(cfg config, dim int) (core.Solver, error) {
 	algo := cfg.algo
 	if algo == Auto {
-		if d.Dim() == 2 {
+		if dim == 2 {
 			algo = SweepingAlgo
 		} else {
 			algo = EPTAlgo
 		}
 	}
-	var (
-		r   *core.Region
-		err error
-	)
 	switch algo {
 	case SweepingAlgo:
-		r, err = core.Sweeping(d.points(), cq)
+		return core.SweepingSolver{}, nil
 	case EPTAlgo:
-		r, err = core.EPT(d.points(), cq)
+		return core.EPTSolver{}, nil
 	case APCAlgo:
-		r, err = core.APC(d.points(), cq, core.APCOptions{Samples: cfg.samples, Seed: cfg.seed})
+		return core.APCSolver{Opt: core.APCOptions{Samples: cfg.samples, Seed: cfg.seed}}, nil
 	case LPCTAAlgo:
-		r, err = baseline.LPCTA(d.points(), cq)
+		return baseline.LPCTASolver{}, nil
 	case BruteForceAlgo:
-		if d.Dim() == 2 {
-			r, err = core.BruteForce2D(d.points(), cq)
-		} else {
-			r, err = core.BruteForceND(d.points(), cq, 64)
-		}
+		return core.BruteForceSolver{MaxPlanes: 64}, nil
 	default:
 		return nil, fmt.Errorf("rrq: unknown algorithm %v", algo)
 	}
+}
+
+// Solve answers the reverse regret query over the dataset. It is
+// SolveContext with a background context.
+func Solve(d *Dataset, q Query, opts ...Option) (*Region, error) {
+	return SolveContext(context.Background(), d, q, opts...)
+}
+
+// SolveContext answers the reverse regret query under a context: a context
+// deadline aborts the solve with ErrDeadline, cancellation with ctx.Err().
+// Both are observed with an amortized check inside the solver hot loops, so
+// aborts take effect within a bounded amount of work.
+func SolveContext(ctx context.Context, d *Dataset, q Query, opts ...Option) (*Region, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	prep, err := core.Prepare(d.points(), d.Dim(), cfg.skyband)
+	if err != nil {
+		return nil, err
+	}
+	s, err := solverFor(cfg, d.Dim())
+	if err != nil {
+		return nil, err
+	}
+	cq := q.toCore()
+	r, _, err := s.Solve(ctx, prep, cq)
 	if err != nil {
 		return nil, err
 	}
 	return &Region{inner: r, q: cq}, nil
 }
+
+// ErrDeadline is returned when a solve exceeds its context deadline.
+var ErrDeadline = core.ErrDeadline
 
 // ReverseTopK answers the continuous reverse top-k query: the region of
 // preference space on which q ranks within the top k. It equals the
@@ -360,8 +404,12 @@ func RealDataset(name string, maxN int) (*Dataset, error) {
 }
 
 // RandomQuery draws a query product for experiments: a random dataset point
-// perturbed slightly, as in the paper's protocol.
+// perturbed slightly, as in the paper's protocol. It returns nil on an
+// empty dataset (e.g. the k ≤ 0 skyband).
 func (d *Dataset) RandomQuery(seed int64) Point {
+	if len(d.pts) == 0 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	return Point(dataset.RandQuery(rng, d.pts))
 }
