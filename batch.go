@@ -4,12 +4,15 @@ package rrq
 // queries, fanned out over a bounded worker pool. The per-dataset work
 // (validation, optional k-skyband prefilter) is done once in Prepare;
 // each query then runs independently, with per-query error isolation and
-// deterministic, input-ordered results.
+// deterministic, input-ordered results. Observability (WithTrace,
+// WithMetrics) fixed at Prepare time flows into every solve.
 
 import (
 	"context"
+	"time"
 
 	"rrq/internal/core"
+	"rrq/internal/obs"
 )
 
 // Prepared is a dataset bound to a solver configuration, ready to answer
@@ -44,23 +47,57 @@ func Prepare(d *Dataset, opts ...Option) (*Prepared, error) {
 	return &Prepared{prep: prep, solver: s, cfg: cfg, dim: d.Dim()}, nil
 }
 
-// Solve answers one query against the prepared dataset.
-func (p *Prepared) Solve(ctx context.Context, q Query) (*Region, Stats, error) {
+// Solve answers one query against the prepared dataset, returning the full
+// Result. On error the Result still carries the partial Stats and elapsed
+// time of the failed attempt.
+func (p *Prepared) Solve(ctx context.Context, q Query) (Result, error) {
 	cq := q.toCore()
-	r, st, err := p.solver.Solve(ctx, p.prep, cq)
-	if err != nil {
-		return nil, st, err
+	start := time.Now()
+	r, st, err := p.solver.Solve(p.cfg.obsContext(ctx), p.prep, cq)
+	res := Result{Stats: st, Elapsed: time.Since(start)}
+	if reg := p.cfg.metrics; reg != nil {
+		reg.Counter("rrq.solves").Inc()
+		if err != nil {
+			reg.Counter("rrq.solve_errors").Inc()
+		}
 	}
-	return &Region{inner: r, q: cq}, st, nil
+	if err != nil {
+		return res, err
+	}
+	res.Region = &Region{inner: r, q: cq}
+	return res, nil
 }
 
-// BatchResult is one query's outcome within a batch: the answer and its
-// work counters, or the per-query error. A failed query never affects its
-// neighbours.
+// BatchResult is one query's outcome within a batch: the full Result of the
+// solve, or the per-query error. A failed query never affects its
+// neighbours; its Result still reports the partial Stats and elapsed time.
 type BatchResult struct {
-	Region *Region
-	Stats  Stats
-	Err    error
+	Result
+	Err error
+}
+
+// BatchReport aggregates a whole batch: the per-query results in input
+// order plus batch-level accounting — wall-clock time, summed per-query
+// time (≥ Elapsed under parallelism), aggregated work counters over the
+// successful queries, success/failure counts, and per-phase timing
+// snapshots when metrics are enabled.
+type BatchReport struct {
+	// Results holds one entry per input query, in input order.
+	Results []BatchResult
+	// Elapsed is the wall-clock duration of the whole batch.
+	Elapsed time.Duration
+	// QueryTime is the sum of every query's solve time; with w workers it
+	// approaches w × Elapsed on saturated pools.
+	QueryTime time.Duration
+	// Agg sums the Stats counters of the successful queries.
+	Agg Stats
+	// Solved and Failed count the queries that returned a region vs. an
+	// error.
+	Solved, Failed int
+	// Phases maps solver phase names (e.g. "phase.ept.insert") to timing
+	// histograms covering exactly this batch. Nil unless WithMetrics was
+	// set at Prepare time.
+	Phases map[string]TimerSnapshot
 }
 
 // SolveBatch answers the queries concurrently over the shared
@@ -70,25 +107,55 @@ type BatchResult struct {
 // their next amortized check (a deadline surfaces as ErrDeadline,
 // cancellation as ctx.Err()) and queries not yet started report ctx.Err()
 // without running.
-func (p *Prepared) SolveBatch(ctx context.Context, queries []Query) []BatchResult {
+//
+// With WithMetrics set, phase timings are recorded into a private registry
+// so the report's Phases covers exactly this batch, then merged into the
+// user's registry along with the rrq.solves / rrq.solve_errors counters.
+func (p *Prepared) SolveBatch(ctx context.Context, queries []Query) *BatchReport {
+	if p.cfg.trace != nil {
+		ctx = obs.ContextWithTrace(ctx, p.cfg.trace)
+	}
+	var batchReg *obs.Registry
+	if p.cfg.metrics != nil {
+		batchReg = obs.NewRegistry()
+		ctx = obs.ContextWithRegistry(ctx, batchReg)
+	}
 	cqs := make([]core.Query, len(queries))
 	for i, q := range queries {
 		cqs[i] = q.toCore()
 	}
+	start := time.Now()
 	outs := core.SolveBatch(ctx, p.solver, p.prep, cqs, p.cfg.workers)
-	res := make([]BatchResult, len(outs))
-	for i, o := range outs {
-		res[i] = BatchResult{Stats: o.Stats, Err: o.Err}
-		if o.Err == nil {
-			res[i].Region = &Region{inner: o.Region, q: cqs[i]}
-		}
+	rep := &BatchReport{
+		Results: make([]BatchResult, len(outs)),
+		Elapsed: time.Since(start),
 	}
-	return res
+	for i, o := range outs {
+		br := BatchResult{Err: o.Err}
+		br.Stats = o.Stats
+		br.Elapsed = o.Elapsed
+		rep.QueryTime += o.Elapsed
+		if o.Err == nil {
+			br.Region = &Region{inner: o.Region, q: cqs[i]}
+			rep.Solved++
+			rep.Agg.Add(o.Stats)
+		} else {
+			rep.Failed++
+		}
+		rep.Results[i] = br
+	}
+	if batchReg != nil {
+		batchReg.Counter("rrq.solves").Add(int64(len(outs)))
+		batchReg.Counter("rrq.solve_errors").Add(int64(rep.Failed))
+		rep.Phases = batchReg.Timers()
+		p.cfg.metrics.Merge(batchReg)
+	}
+	return rep
 }
 
 // SolveBatch prepares the dataset once and answers all queries through a
 // bounded worker pool — the one-shot form of Prepare + Prepared.SolveBatch.
-func SolveBatch(ctx context.Context, d *Dataset, queries []Query, opts ...Option) ([]BatchResult, error) {
+func SolveBatch(ctx context.Context, d *Dataset, queries []Query, opts ...Option) (*BatchReport, error) {
 	p, err := Prepare(d, opts...)
 	if err != nil {
 		return nil, err

@@ -58,14 +58,17 @@ func TestSolveBatchMatchesSequential(t *testing.T) {
 		}
 		for _, w := range workerCounts {
 			opts := append([]Option{WithWorkers(w)}, tc.opts...)
-			results, err := SolveBatch(context.Background(), tc.ds, queries, opts...)
+			report, err := SolveBatch(context.Background(), tc.ds, queries, opts...)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", tc.name, w, err)
 			}
-			if len(results) != len(queries) {
-				t.Fatalf("%s workers=%d: %d results for %d queries", tc.name, w, len(results), len(queries))
+			if len(report.Results) != len(queries) {
+				t.Fatalf("%s workers=%d: %d results for %d queries", tc.name, w, len(report.Results), len(queries))
 			}
-			for i, res := range results {
+			if report.Solved != len(queries) || report.Failed != 0 {
+				t.Fatalf("%s workers=%d: report counts solved=%d failed=%d", tc.name, w, report.Solved, report.Failed)
+			}
+			for i, res := range report.Results {
 				if res.Err != nil {
 					t.Fatalf("%s workers=%d query %d: %v", tc.name, w, i, res.Err)
 				}
@@ -93,10 +96,11 @@ func TestSolveBatchErrorIsolation(t *testing.T) {
 		{Q: ds.RandomQuery(3), K: 2, Epsilon: 0.1},
 	}
 	for _, w := range []int{1, 2} {
-		results, err := SolveBatch(context.Background(), ds, queries, WithWorkers(w))
+		report, err := SolveBatch(context.Background(), ds, queries, WithWorkers(w))
 		if err != nil {
 			t.Fatal(err)
 		}
+		results := report.Results
 		for _, i := range []int{0, 3} {
 			if results[i].Err != nil {
 				t.Errorf("workers=%d: valid query %d failed: %v", w, i, results[i].Err)
@@ -112,6 +116,13 @@ func TestSolveBatchErrorIsolation(t *testing.T) {
 			if results[i].Region != nil {
 				t.Errorf("workers=%d: invalid query %d has a region", w, i)
 			}
+			var qe *QueryError
+			if !errors.As(results[i].Err, &qe) {
+				t.Errorf("workers=%d: invalid query %d error %v is not a *QueryError", w, i, results[i].Err)
+			}
+		}
+		if report.Solved != 2 || report.Failed != 2 {
+			t.Errorf("workers=%d: report counts solved=%d failed=%d, want 2/2", w, report.Solved, report.Failed)
 		}
 	}
 }
@@ -122,11 +133,11 @@ func TestSolveBatchPreCanceled(t *testing.T) {
 	ds := SyntheticDataset(Independent, 40, 3, 3)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	results, err := SolveBatch(ctx, ds, batchQueries(ds, 4), WithWorkers(2))
+	report, err := SolveBatch(ctx, ds, batchQueries(ds, 4), WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, res := range results {
+	for i, res := range report.Results {
 		if !errors.Is(res.Err, context.Canceled) {
 			t.Errorf("query %d: err = %v, want context.Canceled", i, res.Err)
 		}
@@ -144,12 +155,12 @@ func TestSolveBatchMidBatchCancel(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 		cancel()
 	}()
-	results, err := SolveBatch(ctx, ds, queries, WithWorkers(1), WithAlgorithm(EPTAlgo))
+	report, err := SolveBatch(ctx, ds, queries, WithWorkers(1), WithAlgorithm(EPTAlgo))
 	if err != nil {
 		t.Fatal(err)
 	}
 	canceled := 0
-	for i, res := range results {
+	for i, res := range report.Results {
 		switch {
 		case res.Err == nil:
 			if res.Region == nil {
@@ -175,12 +186,12 @@ func TestSolveBatchDeadline(t *testing.T) {
 	queries := batchQueries(ds, 16)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
-	results, err := SolveBatch(ctx, ds, queries, WithWorkers(1), WithAlgorithm(EPTAlgo))
+	report, err := SolveBatch(ctx, ds, queries, WithWorkers(1), WithAlgorithm(EPTAlgo))
 	if err != nil {
 		t.Fatal(err)
 	}
 	failed := 0
-	for i, res := range results {
+	for i, res := range report.Results {
 		if res.Err == nil {
 			continue
 		}
@@ -205,16 +216,20 @@ func TestPreparedReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, st, err := plain.Solve(context.Background(), q)
+	res1, err := plain.Solve(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.PlanesBuilt == 0 {
+	if res1.Stats.PlanesBuilt == 0 {
 		t.Error("stats not populated")
 	}
+	if res1.Elapsed <= 0 {
+		t.Error("elapsed time not populated")
+	}
+	r1 := res1.Region
 	// The same Prepared must serve repeated and batched calls identically.
-	res := plain.SolveBatch(context.Background(), []Query{q, q})
-	for i, r := range res {
+	rep := plain.SolveBatch(context.Background(), []Query{q, q})
+	for i, r := range rep.Results {
 		if r.Err != nil {
 			t.Fatalf("batch query %d: %v", i, r.Err)
 		}
@@ -231,11 +246,11 @@ func TestPreparedReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, _, err := banded.Solve(context.Background(), q)
+	res2, err := banded.Solve(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1, m2 := r1.Measure(20000), r2.Measure(20000)
+	m1, m2 := r1.Measure(20000), res2.Region.Measure(20000)
 	if diff := m1 - m2; diff > 1e-9 || diff < -1e-9 {
 		t.Errorf("skyband prefilter changed the region measure: %v vs %v", m1, m2)
 	}

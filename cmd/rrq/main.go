@@ -20,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"rrq/internal/dataset"
 
@@ -41,6 +42,7 @@ func main() {
 		profile  = flag.Bool("profile", false, "print the market-share curve over ε instead of solving one query")
 		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 		workers  = flag.Int("workers", 0, "worker pool size for -queries batches (0 = GOMAXPROCS)")
+		metrics  = flag.Bool("metrics", false, "print solver metrics (phase timers, work counters) after solving")
 	)
 	flag.Parse()
 
@@ -79,10 +81,18 @@ func main() {
 		defer cancel()
 	}
 
+	var reg *rrq.Registry
+	if *metrics {
+		reg = rrq.NewRegistry()
+	}
+
 	if *qsStr != "" {
 		opts := []rrq.Option{rrq.WithAlgorithm(algo), rrq.WithWorkers(*workers)}
 		if *samples > 0 {
 			opts = append(opts, rrq.WithSamples(*samples))
+		}
+		if reg != nil {
+			opts = append(opts, rrq.WithMetrics(reg))
 		}
 		var queries []rrq.Query
 		for _, s := range strings.Split(*qsStr, ";") {
@@ -90,19 +100,22 @@ func main() {
 			fatal(err)
 			queries = append(queries, rrq.Query{Q: q, K: *k, Epsilon: *eps})
 		}
-		results, err := rrq.SolveBatch(ctx, ds, queries, opts...)
+		report, err := rrq.SolveBatch(ctx, ds, queries, opts...)
 		fatal(err)
 		fmt.Printf("dataset: %d products (after preprocessing), %d attributes\n", ds.Len(), ds.Dim())
 		fmt.Printf("batch:   %d queries  k=%d  eps=%.3f  algo=%v  workers=%d\n",
 			len(queries), *k, *eps, algo, *workers)
-		for i, res := range results {
+		for i, res := range report.Results {
 			if res.Err != nil {
 				fmt.Printf("  q%-3d %v  error: %v\n", i, queries[i].Q, res.Err)
 				continue
 			}
-			fmt.Printf("  q%-3d %v  %d partition(s), %.2f%% of the preference space\n",
-				i, queries[i].Q, res.Region.NumPartitions(), 100*res.Region.Measure(*measureN))
+			fmt.Printf("  q%-3d %v  %d partition(s), %.2f%% of the preference space  (%v)\n",
+				i, queries[i].Q, res.Region.NumPartitions(), 100*res.Region.Measure(*measureN), res.Elapsed.Round(time.Microsecond))
 		}
+		fmt.Printf("total:   %d solved, %d failed in %v (query time %v)\n",
+			report.Solved, report.Failed, report.Elapsed.Round(time.Microsecond), report.QueryTime.Round(time.Microsecond))
+		printMetrics(reg)
 		return
 	}
 
@@ -126,20 +139,27 @@ func main() {
 	if *samples > 0 {
 		opts = append(opts, rrq.WithSamples(*samples))
 	}
-	region, err := rrq.SolveContext(ctx, ds, rrq.Query{Q: q, K: *k, Epsilon: *eps}, opts...)
+	if reg != nil {
+		opts = append(opts, rrq.WithMetrics(reg))
+	}
+	res, err := rrq.SolveContext(ctx, ds, rrq.Query{Q: q, K: *k, Epsilon: *eps}, opts...)
 	fatal(err)
+	region := res.Region
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		fatal(enc.Encode(region))
+		printMetrics(reg)
 		return
 	}
 
 	fmt.Printf("dataset: %d products (after preprocessing), %d attributes\n", ds.Len(), ds.Dim())
-	fmt.Printf("query:   q=%v  k=%d  eps=%.3f  algo=%v\n", q, *k, *eps, algo)
+	fmt.Printf("query:   q=%v  k=%d  eps=%.3f  algo=%v  solved in %v\n",
+		q, *k, *eps, algo, res.Elapsed.Round(time.Microsecond))
 	if region.IsEmpty() {
 		fmt.Println("result:  no prospective customers — q never scores within ε of the top-k")
+		printMetrics(reg)
 		return
 	}
 	share := region.Measure(*measureN)
@@ -154,6 +174,19 @@ func main() {
 		if u := region.Sample(i + 1); u != nil {
 			fmt.Printf("  example qualified preference: %v\n", fmtVec(u))
 		}
+	}
+	printMetrics(reg)
+}
+
+// printMetrics dumps the registry's expvar-style text exposition, if one
+// was requested with -metrics.
+func printMetrics(reg *rrq.Registry) {
+	if reg == nil {
+		return
+	}
+	fmt.Println("metrics:")
+	for _, line := range strings.Split(strings.TrimRight(reg.Text(), "\n"), "\n") {
+		fmt.Println("  " + line)
 	}
 }
 

@@ -4,20 +4,25 @@
 //
 // Usage:
 //
-//	rrqbench                 # run everything, quick scale
-//	rrqbench -exp fig10a     # one experiment
+//	rrqbench                        # run everything, quick scale
+//	rrqbench -exp fig10a            # one experiment
 //	rrqbench -exp fig9a,fig9b -full
 //	rrqbench -list
+//	rrqbench -benchjson BENCH_solve.json   # machine-readable solve benchmark
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
+	"rrq"
 	"rrq/internal/expt"
 )
 
@@ -57,7 +62,8 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write each table as <dir>/<table-id>.csv")
 		budget  = flag.Duration("budget", 0, "per-cell wall-clock budget (0 = default)")
 		timeout = flag.Duration("timeout", 0, "alias of -budget: per-cell wall-clock budget (0 = default)")
-		workers = flag.Int("workers", 0, "worker count for the batch experiment (0 = sweep defaults)")
+		workers   = flag.Int("workers", 0, "worker count for the batch experiment (0 = sweep defaults)")
+		benchJSON = flag.String("benchjson", "", "run the solve benchmark suite and write machine-readable JSON to this path")
 	)
 	flag.Parse()
 	if *budget == 0 {
@@ -67,6 +73,14 @@ func main() {
 	if *list {
 		for _, id := range expt.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *full, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "rrqbench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -98,4 +112,148 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// benchScenario is one solve-benchmark configuration: a synthetic dataset
+// and a batch of queries answered by one algorithm.
+type benchScenario struct {
+	Name    string
+	Dist    rrq.DistType
+	N, D    int
+	Algo    rrq.Algorithm
+	K       int
+	Eps     float64
+	Queries int
+	Workers int // 0 = GOMAXPROCS
+}
+
+// benchPhase is the JSON form of one phase timer.
+type benchPhase struct {
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"total_ns"`
+	MinNs   int64 `json:"min_ns"`
+	MaxNs   int64 `json:"max_ns"`
+	MeanNs  int64 `json:"mean_ns"`
+}
+
+// benchResult is the JSON record of one scenario run.
+type benchResult struct {
+	Name        string                `json:"name"`
+	Algo        string                `json:"algo"`
+	N           int                   `json:"n"`
+	D           int                   `json:"d"`
+	K           int                   `json:"k"`
+	Eps         float64               `json:"eps"`
+	Queries     int                   `json:"queries"`
+	Workers     int                   `json:"workers"`
+	Solved      int                   `json:"solved"`
+	Failed      int                   `json:"failed"`
+	ElapsedNs   int64                 `json:"elapsed_ns"`
+	QueryTimeNs int64                 `json:"query_time_ns"`
+	NsPerQuery  int64                 `json:"ns_per_query"`
+	Stats       rrq.Stats             `json:"stats"`
+	Phases      map[string]benchPhase `json:"phases"`
+}
+
+// benchReport is the top-level BENCH_solve.json document.
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Full       bool          `json:"full"`
+	Seed       int64         `json:"seed"`
+	Results    []benchResult `json:"results"`
+}
+
+// benchSuite returns the fixed scenario list. Quick scale keeps the whole
+// suite in CI-smoke territory (a few seconds); -full multiplies dataset and
+// batch sizes toward the paper's scale.
+func benchSuite(full bool) []benchScenario {
+	mul := 1
+	if full {
+		mul = 4
+	}
+	return []benchScenario{
+		{Name: "sweeping-2d", Dist: rrq.Independent, N: 5000 * mul, D: 2, Algo: rrq.SweepingAlgo, K: 10, Eps: 0.1, Queries: 32 * mul},
+		{Name: "ept-3d", Dist: rrq.Independent, N: 2000 * mul, D: 3, Algo: rrq.EPTAlgo, K: 5, Eps: 0.1, Queries: 16 * mul},
+		{Name: "ept-4d", Dist: rrq.Anticorrelated, N: 1000 * mul, D: 4, Algo: rrq.EPTAlgo, K: 5, Eps: 0.1, Queries: 8 * mul},
+		{Name: "ept-4d-serial", Dist: rrq.Anticorrelated, N: 1000 * mul, D: 4, Algo: rrq.EPTAlgo, K: 5, Eps: 0.1, Queries: 8 * mul, Workers: 1},
+		{Name: "apc-4d", Dist: rrq.Independent, N: 2000 * mul, D: 4, Algo: rrq.APCAlgo, K: 5, Eps: 0.1, Queries: 8 * mul},
+		{Name: "lpcta-3d", Dist: rrq.Independent, N: 150 * mul, D: 3, Algo: rrq.LPCTAAlgo, K: 3, Eps: 0.1, Queries: 4 * mul},
+	}
+}
+
+// runBenchJSON runs the solve benchmark suite through the public batch API
+// with metrics enabled and writes the aggregate as machine-readable JSON —
+// the artifact CI uploads for cross-commit performance tracking.
+func runBenchJSON(path string, full bool, seed int64) error {
+	if seed == 0 {
+		seed = 42
+	}
+	rep := benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Full:       full,
+		Seed:       seed,
+	}
+	for _, sc := range benchSuite(full) {
+		ds := rrq.SyntheticDataset(sc.Dist, sc.N, sc.D, seed)
+		queries := make([]rrq.Query, sc.Queries)
+		for i := range queries {
+			queries[i] = rrq.Query{Q: ds.RandomQuery(seed + int64(i)), K: sc.K, Epsilon: sc.Eps}
+		}
+		reg := rrq.NewRegistry()
+		report, err := rrq.SolveBatch(context.Background(), ds, queries,
+			rrq.WithAlgorithm(sc.Algo), rrq.WithWorkers(sc.Workers),
+			rrq.WithSeed(seed), rrq.WithMetrics(reg))
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		res := benchResult{
+			Name:        sc.Name,
+			Algo:        sc.Algo.String(),
+			N:           sc.N,
+			D:           sc.D,
+			K:           sc.K,
+			Eps:         sc.Eps,
+			Queries:     sc.Queries,
+			Workers:     sc.Workers,
+			Solved:      report.Solved,
+			Failed:      report.Failed,
+			ElapsedNs:   report.Elapsed.Nanoseconds(),
+			QueryTimeNs: report.QueryTime.Nanoseconds(),
+			Stats:       report.Agg,
+			Phases:      make(map[string]benchPhase, len(report.Phases)),
+		}
+		if sc.Queries > 0 {
+			res.NsPerQuery = report.QueryTime.Nanoseconds() / int64(sc.Queries)
+		}
+		for name, s := range report.Phases {
+			res.Phases[name] = benchPhase{
+				Count:   s.Count,
+				TotalNs: s.Total.Nanoseconds(),
+				MinNs:   s.Min.Nanoseconds(),
+				MaxNs:   s.Max.Nanoseconds(),
+				MeanNs:  s.Mean().Nanoseconds(),
+			}
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-16s %-10s n=%-6d d=%d  %d queries in %v (%v/query)\n",
+			sc.Name, res.Algo, sc.N, sc.D, sc.Queries,
+			report.Elapsed.Round(time.Millisecond), time.Duration(res.NsPerQuery).Round(time.Microsecond))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

@@ -74,7 +74,7 @@ func TestLPCTAStatsCountLPs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.LPSolves == 0 && st.Nodes <= 1 {
+	if st.LPSolves == 0 && st.NodesCreated <= 1 {
 		t.Skip("degenerate instance with no crossing planes")
 	}
 	if st.LPSolves%2 != 0 {

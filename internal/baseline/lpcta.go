@@ -16,22 +16,13 @@ package baseline
 
 import (
 	"context"
-	"time"
 
 	"rrq/internal/core"
 	"rrq/internal/geom"
 	"rrq/internal/lp"
+	"rrq/internal/obs"
 	"rrq/internal/vec"
 )
-
-// LPCTAStats counts the work done by an LP-CTA run.
-//
-// Deprecated: the solvers now share core.Stats; LPCTAStats remains as the
-// return type of LPCTAWithStats/LPCTAWithDeadline for one release.
-type LPCTAStats struct {
-	LPSolves int
-	Nodes    int
-}
 
 // LPCTASolver adapts LP-CTA to the uniform core.Solver contract.
 type LPCTASolver struct{}
@@ -65,31 +56,17 @@ func LPCTA(pts []vec.Vec, q core.Query) (*core.Region, error) {
 	return r, err
 }
 
-// LPCTAWithStats is LPCTA plus work counters.
-func LPCTAWithStats(pts []vec.Vec, q core.Query) (*core.Region, LPCTAStats, error) {
-	return LPCTAWithDeadline(pts, q, time.Time{})
-}
-
-// LPCTAWithDeadline aborts with core.ErrDeadline once the deadline passes.
-//
-// Deprecated: pass a context to LPCTAContext instead (the deadline
-// parameter is kept as a thin wrapper over context.WithDeadline for one
-// release).
-func LPCTAWithDeadline(pts []vec.Vec, q core.Query, deadline time.Time) (*core.Region, LPCTAStats, error) {
-	ctx := context.Background()
-	if !deadline.IsZero() {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithDeadline(ctx, deadline)
-		defer cancel()
-	}
-	r, st, err := LPCTAContext(ctx, pts, q)
-	return r, LPCTAStats{LPSolves: st.LPSolves, Nodes: st.NodesCreated}, err
+// LPCTAWithStats is LPCTA plus the shared core.Stats work counters.
+func LPCTAWithStats(pts []vec.Vec, q core.Query) (*core.Region, core.Stats, error) {
+	return LPCTAContext(context.Background(), pts, q)
 }
 
 // LPCTAContext runs LP-CTA under a context: cancellation and deadlines are
 // observed with one amortized check every 64 LP solves (an LP per node
 // visit is expensive, so a finer grain buys nothing). A passed deadline
-// surfaces as core.ErrDeadline, cancellation as ctx.Err().
+// surfaces as core.ErrDeadline, cancellation as ctx.Err(). Trace hooks and
+// metrics registries attached to ctx (see internal/obs) receive the
+// solve's work events and phase timings.
 func LPCTAContext(ctx context.Context, pts []vec.Vec, q core.Query) (*core.Region, core.Stats, error) {
 	var st core.Stats
 	d := q.Q.Dim()
@@ -100,16 +77,21 @@ func LPCTAContext(ctx context.Context, pts []vec.Vec, q core.Query) (*core.Regio
 	if check.Failed() {
 		return nil, st, check.Err()
 	}
+	planePhase := check.Phase("phase.lpcta.planes")
 	planes, base, err := queryPlanes(pts, q)
+	planePhase()
 	if err != nil {
 		return nil, st, err
 	}
 	st.PlanesBuilt = len(planes)
+	check.Emit(obs.EvPlaneBuilt, st.PlanesBuilt)
 	k := q.K - base
 	if k <= 0 {
+		check.Emit(obs.EvPlanePruned, st.PlanesBuilt)
 		return core.EmptyRegion(d), st, nil
 	}
 
+	insertPhase := check.Phase("phase.lpcta.insert")
 	root := &ctaNode{}
 	st.NodesCreated++
 	cc := &ctaCtx{k: k, d: d, st: &st, check: check}
@@ -120,10 +102,14 @@ func LPCTAContext(ctx context.Context, pts []vec.Vec, q core.Query) (*core.Regio
 			return nil, st, check.Err()
 		}
 	}
+	insertPhase()
 
+	collectPhase := check.Phase("phase.lpcta.collect")
+	defer collectPhase()
 	var cells []*geom.Cell
 	ctaCollect(root, d, &cells)
 	st.Pieces = len(cells)
+	check.Emit(obs.EvPieceEmitted, st.Pieces)
 	if len(cells) == 0 {
 		return core.EmptyRegion(d), st, nil
 	}
@@ -145,8 +131,8 @@ func ctaInsert(n *ctaNode, h geom.Hyperplane, cc *ctaCtx) {
 	if n.invalid || cc.check.Stop() {
 		return
 	}
-	k, d, st := cc.k, cc.d, cc.st
-	lo, hi, feasible := ctaRange(n, h, d, st)
+	k, st := cc.k, cc.st
+	lo, hi, feasible := ctaRange(n, h, cc)
 	if !feasible {
 		// Numerically collapsed cell: nothing to do.
 		n.invalid = true
@@ -176,6 +162,8 @@ func ctaInsert(n *ctaNode, h geom.Hyperplane, cc *ctaCtx) {
 			q:       n.q,
 		}
 		st.NodesCreated += 2
+		st.Splits++
+		cc.check.Emit(obs.EvNodeSplit, 1)
 		if neg.q >= k {
 			neg.invalid = true
 		}
@@ -186,23 +174,25 @@ func ctaInsert(n *ctaNode, h geom.Hyperplane, cc *ctaCtx) {
 // ctaRange computes min (and, only when needed, max) of u·Normal over the
 // node's cell. hi is +Inf-like (lo+1 above the threshold) when the minimum
 // alone already classifies the cell as positive.
-func ctaRange(n *ctaNode, h geom.Hyperplane, d int, st *core.Stats) (lo, hi float64, feasible bool) {
-	minS, ok := ctaSolve(n, h, d, false, st)
+func ctaRange(n *ctaNode, h geom.Hyperplane, cc *ctaCtx) (lo, hi float64, feasible bool) {
+	minS, ok := ctaSolve(n, h, cc, false)
 	if !ok {
 		return 0, 0, false
 	}
 	if minS >= -lpTol {
 		return minS, minS + 1, true
 	}
-	maxS, ok := ctaSolve(n, h, d, true, st)
+	maxS, ok := ctaSolve(n, h, cc, true)
 	if !ok {
 		return 0, 0, false
 	}
 	return minS, maxS, true
 }
 
-func ctaSolve(n *ctaNode, h geom.Hyperplane, d int, maximize bool, st *core.Stats) (float64, bool) {
+func ctaSolve(n *ctaNode, h geom.Hyperplane, cc *ctaCtx, maximize bool) (float64, bool) {
+	d, st := cc.d, cc.st
 	st.LPSolves++
+	cc.check.Emit(obs.EvLPSolve, 1)
 	obj := h.Normal
 	aub := make([][]float64, 0, len(n.normals))
 	bub := make([]float64, 0, len(n.normals))

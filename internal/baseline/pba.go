@@ -2,12 +2,11 @@ package baseline
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"time"
 
 	"rrq/internal/core"
 	"rrq/internal/geom"
+	"rrq/internal/obs"
 	"rrq/internal/skyband"
 	"rrq/internal/vec"
 )
@@ -58,29 +57,6 @@ func BuildPBA(pts []vec.Vec, kmax, maxNodes int) (*PBAIndex, error) {
 	return BuildPBAContext(context.Background(), pts, kmax, maxNodes)
 }
 
-// BuildPBAWithDeadline additionally bounds preprocessing by wall clock:
-// past the deadline the build aborts with ErrPBABudget (the harness's
-// analogue of the paper's >10⁴-second preprocessing entries).
-//
-// Deprecated: pass a context to BuildPBAContext instead (the deadline
-// parameter is kept as a thin wrapper over context.WithDeadline for one
-// release).
-func BuildPBAWithDeadline(pts []vec.Vec, kmax, maxNodes int, deadline time.Time) (*PBAIndex, error) {
-	ctx := context.Background()
-	if !deadline.IsZero() {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithDeadline(ctx, deadline)
-		defer cancel()
-	}
-	ix, err := BuildPBAContext(ctx, pts, kmax, maxNodes)
-	if errors.Is(err, core.ErrDeadline) {
-		// Historical contract: a blown wall-clock budget surfaces as the
-		// preprocessing budget error.
-		return nil, ErrPBABudget
-	}
-	return ix, err
-}
-
 // BuildPBAContext bounds preprocessing by the context: a passed deadline
 // aborts the build with core.ErrDeadline, cancellation with ctx.Err(),
 // both observed with an amortized check per preprocessing clip.
@@ -112,9 +88,11 @@ func BuildPBAContext(ctx context.Context, pts []vec.Vec, kmax, maxNodes int) (*P
 	for i := range remaining {
 		remaining[i] = i
 	}
+	buildPhase := ix.check.Phase("phase.pba.build")
 	if err := ix.build(ix.root, remaining, maxNodes); err != nil {
 		return nil, err
 	}
+	buildPhase()
 	return ix, nil
 }
 
@@ -177,6 +155,7 @@ func (ix *PBAIndex) build(n *pbaNode, remaining []int, maxNodes int) error {
 			continue
 		}
 		child := &pbaNode{cell: cell, point: p, depth: n.depth + 1}
+		ix.check.Emit(obs.EvNodeSplit, 1)
 		ix.Nodes++
 		if ix.Nodes > maxNodes {
 			return ErrPBABudget
@@ -214,24 +193,37 @@ func without(xs []int, x int) []int {
 	return out
 }
 
-// Query answers an RRQ with the prebuilt index: a top-down search that
-// compares the query point against each partition's ranked point. A
+// Query answers an RRQ with the prebuilt index. It is QueryContext with a
+// background context.
+func (ix *PBAIndex) Query(q core.Query) (*core.Region, error) {
+	return ix.QueryContext(context.Background(), q)
+}
+
+// QueryContext answers an RRQ with the prebuilt index: a top-down search
+// that compares the query point against each partition's ranked point. A
 // partition already dominated by q at some level is returned whole without
 // refinement (which is why PBA+ gets faster as ε grows); at depth k the
-// partition is clipped by h_{q,p_k}.
-func (ix *PBAIndex) Query(q core.Query) (*core.Region, error) {
+// partition is clipped by h_{q,p_k}. A trace hook attached to ctx (see
+// internal/obs) receives a piece-emitted event for the answer, and a
+// metrics registry times the search phase.
+func (ix *PBAIndex) QueryContext(ctx context.Context, q core.Query) (*core.Region, error) {
 	if err := q.Validate(ix.dim); err != nil {
 		return nil, err
 	}
 	if q.K > ix.kmax {
 		return nil, fmt.Errorf("baseline: query k=%d exceeds index kmax=%d", q.K, ix.kmax)
 	}
+	check := core.NewCtxChecker(ctx, 0x3ff)
 	if q.K > len(ix.pts) {
 		// Fewer points than k: every utility vector qualifies.
+		check.Emit(obs.EvPieceEmitted, 1)
 		return core.NewCellRegion(ix.dim, []*geom.Cell{geom.NewSimplex(ix.dim)}), nil
 	}
+	searchPhase := check.Phase("phase.pba.search")
 	var cells []*geom.Cell
 	ix.search(ix.root, q, &cells)
+	searchPhase()
+	check.Emit(obs.EvPieceEmitted, len(cells))
 	if len(cells) == 0 {
 		return core.EmptyRegion(ix.dim), nil
 	}

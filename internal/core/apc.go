@@ -7,9 +7,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"rrq/internal/geom"
+	"rrq/internal/obs"
 	"rrq/internal/vec"
 )
 
@@ -27,11 +27,6 @@ type APCOptions struct {
 	// phase). ≤ 1 runs serially. The result is identical for any worker
 	// count: samples are drawn up front and merged in sample order.
 	Workers int
-	// Deadline, when non-zero, aborts the solve with ErrDeadline.
-	//
-	// Deprecated: pass a context to APCContext instead (the field is kept
-	// as a thin wrapper over context.WithDeadline for one release).
-	Deadline time.Time
 }
 
 // SampleSizeFor returns the sample size of Lemma 5.10 that finds every
@@ -59,21 +54,13 @@ func APC(pts []vec.Vec, q Query, opt APCOptions) (*Region, error) {
 // APCContext runs A-PC under a context: the sample-classification and
 // partition-construction loops observe cancellation with amortized checks.
 // A passed deadline surfaces as ErrDeadline, cancellation as ctx.Err().
+// Trace hooks and metrics registries attached to ctx (see internal/obs)
+// receive the solve's work events and phase timings.
 func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*Region, Stats, error) {
-	if !opt.Deadline.IsZero() {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithDeadline(ctx, opt.Deadline)
-		defer cancel()
-	}
 	var st Stats
 	d := q.Q.Dim()
-	if err := q.Validate(d); err != nil {
+	if err := ValidateInstance(pts, q); err != nil {
 		return nil, st, err
-	}
-	for _, p := range pts {
-		if p.Dim() != d {
-			return nil, st, errDimMismatch(d, p.Dim())
-		}
 	}
 	check := NewCtxChecker(ctx, 0xff)
 	if check.Failed() {
@@ -88,6 +75,7 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 		n = 10 * (d - 1)
 	}
 	st.Samples = n
+	classifyPhase := check.Phase("phase.apc.classify")
 
 	// Sample and keep qualified utility vectors with their D⁻ sets. D⁻ has
 	// fewer than k elements for a qualified sample, so the sets stay tiny
@@ -164,6 +152,10 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 			negs[i], oks[i] = classify(u)
 		}
 	}
+	classifyPhase()
+	check.Emit(obs.EvSampleClassified, n)
+	constructPhase := check.Phase("phase.apc.construct")
+	defer constructPhase()
 	var kept []sample
 	for i, u := range us {
 		if oks[i] {
@@ -171,6 +163,7 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 		}
 	}
 	if len(kept) == 0 {
+		check.Emit(obs.EvPieceEmitted, 0)
 		return emptyRegion(d), st, nil
 	}
 
@@ -229,6 +222,7 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 		}
 	}
 	st.Pieces = len(cells)
+	check.Emit(obs.EvPieceEmitted, st.Pieces)
 	if len(cells) == 0 {
 		return emptyRegion(d), st, nil
 	}

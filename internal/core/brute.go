@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"rrq/internal/geom"
+	"rrq/internal/obs"
 	"rrq/internal/vec"
 )
 
@@ -21,7 +22,10 @@ func BruteForce2D(pts []vec.Vec, q Query) (*Region, error) {
 // cancellation is observed once per enumerated partition.
 func BruteForce2DContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stats, error) {
 	var st Stats
-	if err := q.Validate(2); err != nil {
+	if q.Q.Dim() != 2 {
+		return nil, st, fmt.Errorf("core: BruteForce2D requires d = 2, got %d", q.Q.Dim())
+	}
+	if err := ValidateInstance(pts, q); err != nil {
 		return nil, st, err
 	}
 	check := NewCtxChecker(ctx, 0xff)
@@ -30,10 +34,14 @@ func BruteForce2DContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, 
 	}
 	ps := buildPlanes(pts, q)
 	st.PlanesBuilt = len(ps.crossing)
+	check.Emit(obs.EvPlaneBuilt, st.PlanesBuilt)
 	k := ps.kEff(q.K)
 	if k <= 0 {
+		check.Emit(obs.EvPlanePruned, st.PlanesBuilt)
 		return emptyRegion(2), st, nil
 	}
+	// Every crossing plane enters the enumeration; nothing is pruned.
+	st.PlanesInserted = st.PlanesBuilt
 	cuts := []float64{0, 1}
 	for _, h := range ps.crossing {
 		w := h.Normal
@@ -64,6 +72,7 @@ func BruteForce2DContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, 
 	}
 	merged := MergeIntervals(out)
 	st.Pieces = len(merged)
+	check.Emit(obs.EvPieceEmitted, st.Pieces)
 	if len(merged) == 0 {
 		return emptyRegion(2), st, nil
 	}
@@ -84,7 +93,7 @@ func BruteForceND(pts []vec.Vec, q Query, maxPlanes int) (*Region, error) {
 func BruteForceNDContext(ctx context.Context, pts []vec.Vec, q Query, maxPlanes int) (*Region, Stats, error) {
 	var st Stats
 	d := q.Q.Dim()
-	if err := q.Validate(d); err != nil {
+	if err := ValidateInstance(pts, q); err != nil {
 		return nil, st, err
 	}
 	check := NewCtxChecker(ctx, 0xff)
@@ -93,11 +102,13 @@ func BruteForceNDContext(ctx context.Context, pts []vec.Vec, q Query, maxPlanes 
 	}
 	ps := buildPlanes(pts, q)
 	st.PlanesBuilt = len(ps.crossing)
+	check.Emit(obs.EvPlaneBuilt, st.PlanesBuilt)
 	if len(ps.crossing) > maxPlanes {
 		return nil, st, fmt.Errorf("core: brute force limited to %d planes, have %d", maxPlanes, len(ps.crossing))
 	}
 	k := ps.kEff(q.K)
 	if k <= 0 {
+		check.Emit(obs.EvPlanePruned, st.PlanesBuilt)
 		return emptyRegion(d), st, nil
 	}
 	type entry struct {
@@ -119,6 +130,10 @@ func BruteForceNDContext(ctx context.Context, pts []vec.Vec, q Query, maxPlanes 
 				next = append(next, e)
 			case geom.RelCross:
 				neg, pos := e.cell.Split(h)
+				if neg != nil && pos != nil {
+					st.Splits++
+					check.Emit(obs.EvNodeSplit, 1)
+				}
 				if neg != nil {
 					next = append(next, entry{neg, e.neg + 1})
 				}
@@ -136,6 +151,7 @@ func BruteForceNDContext(ctx context.Context, pts []vec.Vec, q Query, maxPlanes 
 		}
 	}
 	st.Pieces = len(out)
+	check.Emit(obs.EvPieceEmitted, st.Pieces)
 	if len(out) == 0 {
 		return emptyRegion(d), st, nil
 	}

@@ -6,14 +6,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"rrq/internal/obs"
 	"rrq/internal/skyband"
 	"rrq/internal/vec"
 )
 
-// ErrDeadline is returned when a solver exceeds its deadline, whether it
-// was given as a context deadline or through one of the deprecated
-// Deadline option fields.
+// ErrDeadline is returned when a solver exceeds its context deadline.
 var ErrDeadline = errors.New("core: deadline exceeded")
 
 // MapContextErr translates a context error into the solver error
@@ -32,23 +32,63 @@ func MapContextErr(err error) error {
 // check costs a counter increment rather than an atomic load of the
 // context state. A checker is not safe for concurrent use; parallel
 // phases create one per worker.
+//
+// The checker doubles as the per-solve observability carrier: it captures
+// the trace hook and metrics registry riding on the context once at
+// construction, so the solver hot path pays a single nil-check per
+// potential event (Emit) or phase boundary (Phase) when observability is
+// off.
 type CtxChecker struct {
-	ctx  context.Context
-	mask uint32
-	n    uint32
-	err  error
+	ctx   context.Context
+	mask  uint32
+	n     uint32
+	err   error
+	trace obs.TraceFunc
+	reg   *obs.Registry
 }
 
 // NewCtxChecker builds a checker that samples ctx every mask+1 Stop calls
 // (mask must be 2^m − 1). A context that can never be canceled
 // (ctx.Done() == nil, e.g. context.Background()) disables checking
 // entirely; an already-expired context trips the checker immediately, so
-// solvers fail fast before doing any work.
+// solvers fail fast before doing any work. Any obs trace hook or metrics
+// registry carried by ctx is captured for Emit/Phase.
 func NewCtxChecker(ctx context.Context, mask uint32) *CtxChecker {
-	if ctx == nil || ctx.Done() == nil {
-		return &CtxChecker{}
+	c := &CtxChecker{trace: obs.TraceFrom(ctx), reg: obs.RegistryFrom(ctx)}
+	if ctx != nil && ctx.Done() != nil {
+		c.ctx = ctx
+		c.mask = mask
+		c.err = ctx.Err()
 	}
-	return &CtxChecker{ctx: ctx, mask: mask, err: ctx.Err()}
+	return c
+}
+
+// Emit delivers one trace event when tracing is on; otherwise it is a
+// single nil-check.
+func (c *CtxChecker) Emit(kind obs.EventKind, n int) {
+	if c.trace != nil {
+		c.trace(obs.Event{Kind: kind, N: n})
+	}
+}
+
+// Tracing reports whether a trace hook is attached, for call sites that
+// want to skip event bookkeeping entirely when off.
+func (c *CtxChecker) Tracing() bool { return c.trace != nil }
+
+// nopPhase is the shared no-op phase closer returned when metrics are off,
+// so Phase allocates nothing on the disabled path.
+var nopPhase = func() {}
+
+// Phase starts a named phase timer and returns its closer. With no
+// registry attached the call is a nil-check returning a shared no-op, so
+// instrumented solvers cost nothing when metrics are off.
+func (c *CtxChecker) Phase(name string) func() {
+	if c.reg == nil {
+		return nopPhase
+	}
+	t := c.reg.Timer(name)
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
 }
 
 // Stop counts one unit of work and reports whether the solve should abort.
@@ -80,10 +120,21 @@ type Stats struct {
 	PlanesBuilt    int // crossing planes before reduction
 	PlanesInserted int // planes surviving reduction / entering the sweep
 	NodesCreated   int // tree nodes allocated (E-PT, LP-CTA)
-	Splits         int // lazy splits performed (E-PT)
+	Splits         int // node splits performed (E-PT lazy splits, LP-CTA)
 	LPSolves       int // simplex LP solves (LP-CTA)
 	Samples        int // utility samples classified (A-PC)
 	Pieces         int // partitions in the returned region
+}
+
+// Add accumulates other's counters into st, for batch-level aggregation.
+func (st *Stats) Add(other Stats) {
+	st.PlanesBuilt += other.PlanesBuilt
+	st.PlanesInserted += other.PlanesInserted
+	st.NodesCreated += other.NodesCreated
+	st.Splits += other.Splits
+	st.LPSolves += other.LPSolves
+	st.Samples += other.Samples
+	st.Pieces += other.Pieces
 }
 
 // Prepared captures the per-dataset work that every solver used to repeat
@@ -210,11 +261,13 @@ func (s BruteForceSolver) Solve(ctx context.Context, prep *Prepared, q Query) (*
 }
 
 // BatchOutcome is one query's result within a batch: the answer, the work
-// counters, or the per-query error (other queries are unaffected).
+// counters and wall time, or the per-query error (other queries are
+// unaffected).
 type BatchOutcome struct {
-	Region *Region
-	Stats  Stats
-	Err    error
+	Region  *Region
+	Stats   Stats
+	Elapsed time.Duration
+	Err     error
 }
 
 // SolveBatch answers queries over one shared Prepared with a bounded
@@ -241,7 +294,9 @@ func SolveBatch(ctx context.Context, s Solver, prep *Prepared, queries []Query, 
 			out[i].Err = MapContextErr(err)
 			return
 		}
+		start := time.Now()
 		out[i].Region, out[i].Stats, out[i].Err = s.Solve(ctx, prep, queries[i])
+		out[i].Elapsed = time.Since(start)
 	}
 	if workers == 1 {
 		for i := range queries {

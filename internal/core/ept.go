@@ -2,11 +2,10 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"sort"
-	"time"
 
 	"rrq/internal/geom"
+	"rrq/internal/obs"
 	"rrq/internal/skyband"
 	"rrq/internal/vec"
 )
@@ -24,12 +23,6 @@ type eptNode struct {
 
 func (n *eptNode) leaf() bool { return len(n.children) == 0 }
 
-// EPTStats reports work counters from an E-PT run.
-//
-// Deprecated: EPTStats is the common Stats type; every solver now reports
-// the same counters. Use Stats.
-type EPTStats = Stats
-
 // EPTOptions disables individual accelerations of §5.1.2, for the ablation
 // benchmarks. The zero value runs the full algorithm.
 type EPTOptions struct {
@@ -40,11 +33,6 @@ type EPTOptions struct {
 	// NoLazySplit splits leaves eagerly on every crossing plane instead of
 	// deferring through H(N).
 	NoLazySplit bool
-	// Deadline, when non-zero, aborts the solve with ErrDeadline.
-	//
-	// Deprecated: pass a context to EPTContext instead (the field is kept
-	// as a thin wrapper over context.WithDeadline for one release).
-	Deadline time.Time
 }
 
 // EPT solves RRQ exactly in any dimension via the partition tree
@@ -70,31 +58,27 @@ func EPTWithOptions(pts []vec.Vec, q Query, opt EPTOptions) (*Region, Stats, err
 // EPTContext runs E-PT under a context: cancellation and deadlines are
 // observed with one amortized check every few thousand node visits, so a
 // Solve aborts within one check interval of the context firing. A passed
-// deadline surfaces as ErrDeadline, cancellation as ctx.Err().
+// deadline surfaces as ErrDeadline, cancellation as ctx.Err(). Trace hooks
+// and metrics registries attached to ctx (see internal/obs) receive the
+// solve's work events and phase timings.
 func EPTContext(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions) (*Region, Stats, error) {
-	if !opt.Deadline.IsZero() {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithDeadline(ctx, opt.Deadline)
-		defer cancel()
-	}
 	var st Stats
 	d := q.Q.Dim()
-	if err := q.Validate(d); err != nil {
+	if err := ValidateInstance(pts, q); err != nil {
 		return nil, st, err
-	}
-	for _, p := range pts {
-		if p.Dim() != d {
-			return nil, st, errDimMismatch(d, p.Dim())
-		}
 	}
 	check := NewCtxChecker(ctx, 0xfff)
 	if check.Failed() {
 		return nil, st, check.Err()
 	}
+	planePhase := check.Phase("phase.ept.planes")
 	ps := buildPlanes(pts, q)
 	st.PlanesBuilt = len(ps.crossing)
+	check.Emit(obs.EvPlaneBuilt, st.PlanesBuilt)
 	k := ps.kEff(q.K)
 	if k <= 0 {
+		planePhase()
+		check.Emit(obs.EvPlanePruned, st.PlanesBuilt)
 		return emptyRegion(d), st, nil
 	}
 
@@ -103,7 +87,10 @@ func EPTContext(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions) (*R
 		planes = reduceAndOrderPlanesOpt(ps.crossing, k, opt.NoReduction, opt.NoOrdering)
 	}
 	st.PlanesInserted = len(planes)
+	check.Emit(obs.EvPlanePruned, st.PlanesBuilt-st.PlanesInserted)
+	planePhase()
 
+	insertPhase := check.Phase("phase.ept.insert")
 	t := &eptTree{k: k, stats: &st, eager: opt.NoLazySplit, check: check}
 	t.root = &eptNode{cell: geom.NewSimplex(d)}
 	st.NodesCreated++
@@ -113,10 +100,14 @@ func EPTContext(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions) (*R
 			return nil, st, check.Err()
 		}
 	}
+	insertPhase()
 
+	collectPhase := check.Phase("phase.ept.collect")
+	defer collectPhase()
 	var cells []*geom.Cell
 	t.collect(t.root, &cells)
 	st.Pieces = len(cells)
+	check.Emit(obs.EvPieceEmitted, st.Pieces)
 	if len(cells) == 0 {
 		return emptyRegion(d), st, nil
 	}
@@ -286,6 +277,7 @@ func (t *eptTree) lazySplit(n *eptNode) {
 			}
 		default:
 			t.stats.Splits++
+			t.check.Emit(obs.EvNodeSplit, 1)
 			left := &eptNode{cell: neg, q: n.q + 1, lazy: append([]geom.Hyperplane(nil), n.lazy...)}
 			right := &eptNode{cell: pos, q: n.q, lazy: n.lazy}
 			t.stats.NodesCreated += 2
@@ -345,5 +337,5 @@ func (t *eptTree) collect(n *eptNode, out *[]*geom.Cell) {
 }
 
 func errDimMismatch(want, got int) error {
-	return fmt.Errorf("core: point dimension %d does not match query dimension %d", got, want)
+	return queryErrf("dim", "point dimension %d does not match query dimension %d", got, want)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -95,7 +96,9 @@ func TestEPTDeadline(t *testing.T) {
 	rng := rand.New(rand.NewSource(4444))
 	pts, q := randomInstance(rng, 300, 4)
 	// A deadline in the past must abort promptly with ErrDeadline.
-	_, _, err := EPTWithOptions(pts, q, EPTOptions{Deadline: time.Now().Add(-time.Second)})
+	past, cancelPast := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancelPast()
+	_, _, err := EPTContext(past, pts, q, EPTOptions{})
 	if !errors.Is(err, ErrDeadline) {
 		// Tiny instances can finish before the first deadline check; only
 		// accept success when the region was actually computable instantly.
@@ -104,7 +107,9 @@ func TestEPTDeadline(t *testing.T) {
 		}
 	}
 	// A generous deadline must not interfere.
-	reg, _, err := EPTWithOptions(pts, q, EPTOptions{Deadline: time.Now().Add(time.Minute)})
+	future, cancelFuture := context.WithDeadline(context.Background(), time.Now().Add(time.Minute))
+	defer cancelFuture()
+	reg, _, err := EPTContext(future, pts, q, EPTOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,24 +28,69 @@ type Query struct {
 	Eps float64 // regret threshold ε ∈ [0,1)
 }
 
-// Validate checks the query against the dataset dimension d.
+// QueryError is the typed validation error every entry point returns for a
+// malformed query. Field names the offending parameter: "q" (the query
+// point), "k", "epsilon" or "dim" (a query/dataset dimension mismatch).
+type QueryError struct {
+	Field string
+	Msg   string
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("core: invalid query (%s): %s", e.Field, e.Msg)
+}
+
+func queryErrf(field, format string, args ...any) *QueryError {
+	return &QueryError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the query against the dataset dimension d: the query
+// point must be d-dimensional (d ≥ 2) and finite, k ≥ 1 and ε ∈ [0,1).
+// The single validation authority for every entry point — solvers, the
+// dynamic region and the PBA+ index all route through it. A failure is
+// always a *QueryError.
 func (q Query) Validate(d int) error {
+	if qe := q.validate(d); qe != nil {
+		return qe
+	}
+	return nil
+}
+
+// validate returns the concrete error type; kept separate from Validate so
+// a nil *QueryError never leaks into a non-nil error interface.
+func (q Query) validate(d int) *QueryError {
 	if q.Q.Dim() != d {
-		return fmt.Errorf("core: query dimension %d does not match dataset dimension %d", q.Q.Dim(), d)
+		return queryErrf("dim", "query dimension %d does not match dataset dimension %d", q.Q.Dim(), d)
 	}
 	if d < 2 {
-		return fmt.Errorf("core: dimension %d < 2", d)
+		return queryErrf("q", "dimension %d < 2", d)
 	}
 	for i, x := range q.Q {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
-			return fmt.Errorf("core: query coordinate %d is %v", i, x)
+			return queryErrf("q", "query coordinate %d is %v", i, x)
 		}
 	}
 	if q.K < 1 {
-		return fmt.Errorf("core: k = %d < 1", q.K)
+		return queryErrf("k", "k = %d < 1", q.K)
 	}
 	if q.Eps < 0 || q.Eps >= 1 || math.IsNaN(q.Eps) {
-		return fmt.Errorf("core: ε = %v outside [0,1)", q.Eps)
+		return queryErrf("epsilon", "ε = %v outside [0,1)", q.Eps)
+	}
+	return nil
+}
+
+// ValidateInstance checks the query and every point against the query's
+// own dimension — the shared entry gate of the direct solver functions
+// (the Prepared path validates points once at Prepare time instead).
+func ValidateInstance(pts []vec.Vec, q Query) error {
+	d := q.Q.Dim()
+	if err := q.Validate(d); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if p.Dim() != d {
+			return errDimMismatch(d, p.Dim())
+		}
 	}
 	return nil
 }

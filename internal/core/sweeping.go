@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"rrq/internal/geom"
+	"rrq/internal/obs"
 	"rrq/internal/topk"
 	"rrq/internal/vec"
 )
@@ -30,27 +31,28 @@ func Sweeping(pts []vec.Vec, q Query) (*Region, error) {
 // once before the event sweep rather than per element.
 func SweepingContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stats, error) {
 	var st Stats
-	if err := q.Validate(2); err != nil {
-		return nil, st, err
-	}
 	if q.Q.Dim() != 2 {
 		return nil, st, fmt.Errorf("core: Sweeping requires d = 2, got %d", q.Q.Dim())
 	}
-	for _, p := range pts {
-		if p.Dim() != 2 {
-			return nil, st, fmt.Errorf("core: Sweeping requires 2-d points")
-		}
+	if err := ValidateInstance(pts, q); err != nil {
+		return nil, st, err
 	}
 	check := NewCtxChecker(ctx, 0)
 	if check.Failed() {
 		return nil, st, check.Err()
 	}
+	planePhase := check.Phase("phase.sweep.planes")
 	ps := buildPlanes(pts, q)
+	planePhase()
 	st.PlanesBuilt = len(ps.crossing)
+	check.Emit(obs.EvPlaneBuilt, st.PlanesBuilt)
 	k := ps.kEff(q.K)
 	if k <= 0 {
+		check.Emit(obs.EvPlanePruned, st.PlanesBuilt)
 		return emptyRegion(2), st, nil
 	}
+	sweepPhase := check.Phase("phase.sweep.sweep")
+	defer sweepPhase()
 
 	// Crossing parameters on L: u·w = 0 at t* = w2 / (w2 − w1).
 	var incl, excl []float64
@@ -76,6 +78,7 @@ func SweepingContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stat
 		tLo = topk.KthMax(excl, k)
 	}
 	if tLo >= tHi-geom.Tol {
+		check.Emit(obs.EvPlanePruned, st.PlanesBuilt)
 		return emptyRegion(2), st, nil
 	}
 	if check.Stop() {
@@ -108,6 +111,7 @@ func SweepingContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stat
 	}
 	sort.Slice(events, func(a, b int) bool { return events[a].t < events[b].t })
 	st.PlanesInserted = len(events)
+	check.Emit(obs.EvPlanePruned, st.PlanesBuilt-st.PlanesInserted)
 
 	// Sweep the O(k) surviving partitions with an O(1) counter update.
 	var out [][2]float64
@@ -131,6 +135,7 @@ func SweepingContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stat
 
 	merged := MergeIntervals(out)
 	st.Pieces = len(merged)
+	check.Emit(obs.EvPieceEmitted, st.Pieces)
 	if len(merged) == 0 {
 		return emptyRegion(2), st, nil
 	}

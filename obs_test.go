@@ -1,0 +1,294 @@
+package rrq
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// obsCase pairs a solver with a dataset and query it can handle, for the
+// trace/metrics invariants that must hold across every algorithm.
+type obsCase struct {
+	name string
+	ds   *Dataset
+	q    Query
+	opts []Option
+}
+
+func obsCases() []obsCase {
+	ds2 := SyntheticDataset(Independent, 60, 2, 31)
+	ds3 := SyntheticDataset(Independent, 40, 3, 32)
+	q2 := Query{Q: ds2.RandomQuery(1), K: 3, Epsilon: 0.1}
+	q3 := Query{Q: ds3.RandomQuery(1), K: 3, Epsilon: 0.1}
+	return []obsCase{
+		{"sweeping", ds2, q2, []Option{WithAlgorithm(SweepingAlgo)}},
+		{"ept", ds3, q3, []Option{WithAlgorithm(EPTAlgo)}},
+		{"apc", ds3, q3, []Option{WithAlgorithm(APCAlgo), WithSamples(80), WithSeed(7)}},
+		{"lpcta", ds3, q3, []Option{WithAlgorithm(LPCTAAlgo)}},
+		{"brute-2d", ds2, q2, []Option{WithAlgorithm(BruteForceAlgo)}},
+		{"brute-nd", ds3, q3, []Option{WithAlgorithm(BruteForceAlgo)}},
+	}
+}
+
+// TestTraceEventsMatchStats pins the central observability invariant: for
+// every solver, the per-kind sums of the trace events of one solve equal
+// the corresponding Stats counters exactly.
+func TestTraceEventsMatchStats(t *testing.T) {
+	for _, tc := range obsCases() {
+		sums := make(map[EventKind]int)
+		opts := append([]Option{WithTrace(func(e Event) { sums[e.Kind] += e.N })}, tc.opts...)
+		res, err := SolveContext(context.Background(), tc.ds, tc.q, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		st := res.Stats
+		want := map[EventKind]int{
+			EventPlaneBuilt:       st.PlanesBuilt,
+			EventPlanePruned:      st.PlanesBuilt - st.PlanesInserted,
+			EventNodeSplit:        st.Splits,
+			EventLPSolve:          st.LPSolves,
+			EventSampleClassified: st.Samples,
+			EventPieceEmitted:     st.Pieces,
+		}
+		for kind, n := range want {
+			if sums[kind] != n {
+				t.Errorf("%s: %v events sum to %d, stats say %d (stats %+v, events %v)",
+					tc.name, kind, sums[kind], n, st, sums)
+			}
+		}
+		for kind := range sums {
+			if _, ok := want[kind]; !ok {
+				t.Errorf("%s: unexpected event kind %v", tc.name, kind)
+			}
+		}
+	}
+}
+
+// TestSolveBatchStatsParity checks that a query solved alone and inside a
+// batch reports identical Stats and that the batch aggregate sums them.
+func TestSolveBatchStatsParity(t *testing.T) {
+	for _, tc := range obsCases() {
+		p, err := Prepare(tc.ds, tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		single, err := p.Solve(context.Background(), tc.q)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		rep := p.SolveBatch(context.Background(), []Query{tc.q, tc.q, tc.q})
+		var agg Stats
+		for i, r := range rep.Results {
+			if r.Err != nil {
+				t.Fatalf("%s: batch query %d: %v", tc.name, i, r.Err)
+			}
+			if r.Stats != single.Stats {
+				t.Errorf("%s: batch query %d stats %+v differ from single-solve stats %+v",
+					tc.name, i, r.Stats, single.Stats)
+			}
+			agg.Add(r.Stats)
+		}
+		if rep.Agg != agg {
+			t.Errorf("%s: report aggregate %+v is not the sum of per-query stats %+v", tc.name, rep.Agg, agg)
+		}
+	}
+}
+
+// TestBatchTraceEventsMatchAggStats runs the trace invariant through the
+// batch engine: the event sums over a whole batch (the WithTrace callback
+// is serialized, so a plain map is fine) must equal the aggregate Stats.
+func TestBatchTraceEventsMatchAggStats(t *testing.T) {
+	ds := SyntheticDataset(Independent, 40, 3, 33)
+	queries := make([]Query, 8)
+	for i := range queries {
+		queries[i] = Query{Q: ds.RandomQuery(int64(i + 1)), K: 3, Epsilon: 0.1}
+	}
+	sums := make(map[EventKind]int)
+	rep, err := SolveBatch(context.Background(), ds, queries,
+		WithAlgorithm(EPTAlgo), WithWorkers(4),
+		WithTrace(func(e Event) { sums[e.Kind] += e.N }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("batch failed queries: %d", rep.Failed)
+	}
+	st := rep.Agg
+	want := map[EventKind]int{
+		EventPlaneBuilt:       st.PlanesBuilt,
+		EventPlanePruned:      st.PlanesBuilt - st.PlanesInserted,
+		EventNodeSplit:        st.Splits,
+		EventLPSolve:          st.LPSolves,
+		EventSampleClassified: st.Samples,
+		EventPieceEmitted:     st.Pieces,
+	}
+	for kind, n := range want {
+		if sums[kind] != n {
+			t.Errorf("%v events sum to %d, aggregate stats say %d", kind, sums[kind], n)
+		}
+	}
+}
+
+// TestWithMetricsRegistry checks that WithMetrics records phase timers and
+// serving counters, that BatchReport.Phases covers exactly one batch, and
+// that the shared registry keeps accumulating across batches.
+func TestWithMetricsRegistry(t *testing.T) {
+	ds := SyntheticDataset(Independent, 40, 3, 34)
+	queries := make([]Query, 4)
+	for i := range queries {
+		queries[i] = Query{Q: ds.RandomQuery(int64(i + 1)), K: 3, Epsilon: 0.1}
+	}
+	reg := NewRegistry()
+	p, err := Prepare(ds, WithAlgorithm(EPTAlgo), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := p.SolveBatch(context.Background(), queries)
+	if rep.Phases == nil {
+		t.Fatal("BatchReport.Phases is nil with WithMetrics set")
+	}
+	// Every query runs the plane-construction phase; queries whose effective
+	// rank budget collapses return before the insert phase, so only the
+	// plane phase has a guaranteed count.
+	planes, ok := rep.Phases["phase.ept.planes"]
+	if !ok {
+		t.Fatalf("phase.ept.planes missing from report phases %v", rep.Phases)
+	}
+	if planes.Count != int64(len(queries)) {
+		t.Errorf("phase.ept.planes ran %d times in the report, want %d", planes.Count, len(queries))
+	}
+
+	// A second identical batch must not inflate the first report, but the
+	// user registry accumulates both.
+	rep2 := p.SolveBatch(context.Background(), queries)
+	if got := rep2.Phases["phase.ept.planes"].Count; got != planes.Count {
+		t.Errorf("second report phase count %d, want %d (cross-batch contamination)", got, planes.Count)
+	}
+	if got := reg.Timers()["phase.ept.planes"].Count; got != 2*planes.Count {
+		t.Errorf("user registry phase count %d, want %d", got, 2*planes.Count)
+	}
+	if got := reg.Counter("rrq.solves").Value(); got != 2*int64(len(queries)) {
+		t.Errorf("rrq.solves = %d, want %d", got, 2*len(queries))
+	}
+	if got := reg.Counter("rrq.solve_errors").Value(); got != 0 {
+		t.Errorf("rrq.solve_errors = %d, want 0", got)
+	}
+
+	// Single solves through the same Prepared count too, and the text
+	// exposition carries every metric.
+	if _, err := p.Solve(context.Background(), queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("rrq.solves").Value(); got != 2*int64(len(queries))+1 {
+		t.Errorf("rrq.solves after single solve = %d, want %d", got, 2*len(queries)+1)
+	}
+	text := reg.Text()
+	for _, want := range []string{"rrq.solves:", "phase.ept.planes:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("registry text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestQueryValidateRejections is the rejection table of the centralized
+// query validation: each malformed query must fail with a *QueryError
+// naming the offending field, from every entry point.
+func TestQueryValidateRejections(t *testing.T) {
+	ds := SyntheticDataset(Independent, 20, 3, 35)
+	good := Query{Q: ds.RandomQuery(1), K: 2, Epsilon: 0.1}
+	cases := []struct {
+		name  string
+		q     Query
+		field string
+	}{
+		{"k-zero", Query{Q: good.Q, K: 0, Epsilon: 0.1}, "k"},
+		{"k-negative", Query{Q: good.Q, K: -3, Epsilon: 0.1}, "k"},
+		{"eps-negative", Query{Q: good.Q, K: 2, Epsilon: -0.01}, "epsilon"},
+		{"eps-one", Query{Q: good.Q, K: 2, Epsilon: 1}, "epsilon"},
+		{"eps-above-one", Query{Q: good.Q, K: 2, Epsilon: 1.5}, "epsilon"},
+		{"eps-nan", Query{Q: good.Q, K: 2, Epsilon: math.NaN()}, "epsilon"},
+		{"q-nan", Query{Q: Point{0.5, math.NaN(), 0.5}, K: 2, Epsilon: 0.1}, "q"},
+		{"q-inf", Query{Q: Point{0.5, math.Inf(1), 0.5}, K: 2, Epsilon: 0.1}, "q"},
+		{"q-too-short", Query{Q: Point{0.5}, K: 2, Epsilon: 0.1}, "q"},
+		{"dim-mismatch", Query{Q: Point{0.5, 0.5}, K: 2, Epsilon: 0.1}, "dim"},
+	}
+	check := func(t *testing.T, name string, err error, field string) {
+		t.Helper()
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			return
+		}
+		var qe *QueryError
+		if !errors.As(err, &qe) {
+			t.Errorf("%s: error %v is not a *QueryError", name, err)
+			return
+		}
+		if qe.Field != field {
+			t.Errorf("%s: field %q, want %q", name, qe.Field, field)
+		}
+	}
+	for _, tc := range cases {
+		// Standalone validation has no dataset: the dimension mismatch is
+		// invisible to it and must pass.
+		if tc.field == "dim" {
+			if err := tc.q.Validate(); err != nil {
+				t.Errorf("%s: standalone Validate rejected a well-formed query: %v", tc.name, err)
+			}
+		} else {
+			check(t, tc.name+"/Validate", tc.q.Validate(), tc.field)
+		}
+		_, err := Solve(ds, tc.q)
+		check(t, tc.name+"/Solve", err, tc.field)
+		_, err = NewDynamicRegion(ds, tc.q)
+		check(t, tc.name+"/NewDynamicRegion", err, tc.field)
+	}
+
+	// The PBA+ index validates through the same authority.
+	ix, err := BuildPBAIndex(SyntheticDataset(Independent, 10, 2, 36), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ix.Query(Query{Q: Point{0.5, 0.5}, K: 0, Epsilon: 0.1})
+	check(t, "pba-k-zero", err, "k")
+	_, err = ix.Query(Query{Q: Point{0.5, 0.5, 0.5}, K: 1, Epsilon: 0.1})
+	check(t, "pba-dim-mismatch", err, "dim")
+
+	// And the good query really is good.
+	if err := good.Validate(); err != nil {
+		t.Errorf("good query rejected: %v", err)
+	}
+	if _, err := Solve(ds, good); err != nil {
+		t.Errorf("good query failed to solve: %v", err)
+	}
+}
+
+// TestTraceOnPBAIndex checks the index query path emits piece events.
+func TestTraceOnPBAIndex(t *testing.T) {
+	ds := SyntheticDataset(Independent, 12, 2, 37)
+	ix, err := BuildPBAIndex(ds, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pieces := 0
+	reg := NewRegistry()
+	r, err := ix.QueryContext(context.Background(),
+		Query{Q: ds.RandomQuery(1), K: 2, Epsilon: 0.1},
+		WithTrace(func(e Event) {
+			if e.Kind == EventPieceEmitted {
+				pieces += e.N
+			}
+		}),
+		WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pieces != r.NumPartitions() {
+		t.Errorf("piece events sum to %d, region has %d partitions", pieces, r.NumPartitions())
+	}
+	if reg.Timers()["phase.pba.search"].Count != 1 {
+		t.Errorf("phase.pba.search not timed: %v", reg.Timers())
+	}
+}

@@ -23,10 +23,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"time"
 
 	"rrq/internal/baseline"
 	"rrq/internal/core"
 	"rrq/internal/dataset"
+	"rrq/internal/obs"
 	"rrq/internal/rms"
 	"rrq/internal/skyband"
 	"rrq/internal/vec"
@@ -120,6 +123,20 @@ func (q Query) toCore() core.Query {
 	return core.Query{Q: vec.Vec(q.Q), K: q.K, Eps: q.Epsilon}
 }
 
+// QueryError is the typed validation error returned by every entry point
+// for a malformed query; match it with errors.As. Field names the
+// offending parameter: "q", "k", "epsilon" or "dim".
+type QueryError = core.QueryError
+
+// Validate checks the query's intrinsic parameters — Q finite with
+// dimension ≥ 2, K ≥ 1 and Epsilon ∈ [0,1) — without a dataset. The same
+// validation (plus the query/dataset dimension match) runs inside every
+// entry point: Solve and its variants, NewDynamicRegion and PBAIndex
+// queries. A failure is always a *QueryError.
+func (q Query) Validate() error {
+	return q.toCore().Validate(len(q.Q))
+}
+
 // Algorithm selects the solver used by Solve.
 type Algorithm int
 
@@ -162,6 +179,46 @@ func (a Algorithm) String() string {
 // solver fills the counters that apply to it.
 type Stats = core.Stats
 
+// Result is the full outcome of one solve: the qualified region, the
+// solver's work counters and the wall-clock time spent.
+type Result struct {
+	Region  *Region
+	Stats   Stats
+	Elapsed time.Duration
+}
+
+// Event is one observability event emitted during a solve; see WithTrace.
+// Kind identifies the work unit, N how many of them the event accounts for
+// (cheap units such as plane construction are batched into a single event,
+// expensive ones such as LP solves arrive one at a time).
+type Event = obs.Event
+
+// EventKind enumerates the trace event kinds.
+type EventKind = obs.EventKind
+
+// Trace event kinds. Summed over one solve, each kind's N totals match the
+// corresponding Stats counter exactly (see docs/ALGORITHMS.md for the full
+// mapping to the paper's work measures).
+const (
+	EventPlaneBuilt       = obs.EvPlaneBuilt       // Stats.PlanesBuilt
+	EventPlanePruned      = obs.EvPlanePruned      // Stats.PlanesBuilt − Stats.PlanesInserted
+	EventNodeSplit        = obs.EvNodeSplit        // Stats.Splits
+	EventLPSolve          = obs.EvLPSolve          // Stats.LPSolves
+	EventSampleClassified = obs.EvSampleClassified // Stats.Samples
+	EventPieceEmitted     = obs.EvPieceEmitted     // Stats.Pieces
+)
+
+// Registry is a process-wide metrics registry: named counters, gauges and
+// phase timers, exposable as expvar-compatible text (Text / WriteText).
+// Attach one to solves with WithMetrics.
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// TimerSnapshot is a point-in-time copy of one phase timer's histogram.
+type TimerSnapshot = obs.TimerSnapshot
+
 // Option configures Solve, SolveContext, SolveBatch and Prepare.
 type Option func(*config)
 
@@ -171,6 +228,20 @@ type config struct {
 	seed    int64
 	workers int
 	skyband bool
+	trace   obs.TraceFunc
+	metrics *obs.Registry
+}
+
+// obsContext attaches the configured trace hook and metrics registry to ctx
+// so the solver hot paths can pick them up (one nil-check when off).
+func (c *config) obsContext(ctx context.Context) context.Context {
+	if c.trace != nil {
+		ctx = obs.ContextWithTrace(ctx, c.trace)
+	}
+	if c.metrics != nil {
+		ctx = obs.ContextWithRegistry(ctx, c.metrics)
+	}
+	return ctx
 }
 
 // WithAlgorithm forces a specific solver.
@@ -193,6 +264,36 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // decomposition — and therefore its JSON encoding — may differ, which is why
 // the prefilter is off by default.
 func WithSkybandPrefilter(on bool) Option { return func(c *config) { c.skyband = on } }
+
+// WithTrace streams per-solve trace events to fn: planes built and pruned,
+// node splits, LP solves, samples classified and answer pieces emitted.
+// Within one solve the events of each kind sum exactly to the matching
+// Stats counter. fn is serialized behind a mutex, so it may be an ordinary
+// closure even under SolveBatch or parallel A-PC; the lock makes tracing a
+// profiling tool, not a production hot path. A nil fn disables tracing
+// (solvers then pay a single nil-check per emission site).
+func WithTrace(fn func(Event)) Option {
+	return func(c *config) {
+		if fn == nil {
+			c.trace = nil
+			return
+		}
+		var mu sync.Mutex
+		c.trace = func(e obs.Event) {
+			mu.Lock()
+			fn(e)
+			mu.Unlock()
+		}
+	}
+}
+
+// WithMetrics accumulates phase timings and solve counters into reg: each
+// solver phase (e.g. "phase.ept.insert") gets a histogram timer, and the
+// serving layer maintains "rrq.solves" / "rrq.solve_errors" counters. The
+// registry is safe for concurrent use and may be shared across datasets and
+// goroutines; expose it with Registry.Text or via expvar. A nil reg
+// disables metrics.
+func WithMetrics(reg *Registry) Option { return func(c *config) { c.metrics = reg } }
 
 // solverFor maps the configured algorithm to its core.Solver.
 func solverFor(cfg config, dim int) (core.Solver, error) {
@@ -220,35 +321,28 @@ func solverFor(cfg config, dim int) (core.Solver, error) {
 	}
 }
 
-// Solve answers the reverse regret query over the dataset. It is
-// SolveContext with a background context.
+// Solve answers the reverse regret query over the dataset — the plain form
+// of SolveContext for callers that want only the region.
 func Solve(d *Dataset, q Query, opts ...Option) (*Region, error) {
-	return SolveContext(context.Background(), d, q, opts...)
+	res, err := SolveContext(context.Background(), d, q, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Region, nil
 }
 
-// SolveContext answers the reverse regret query under a context: a context
-// deadline aborts the solve with ErrDeadline, cancellation with ctx.Err().
-// Both are observed with an amortized check inside the solver hot loops, so
-// aborts take effect within a bounded amount of work.
-func SolveContext(ctx context.Context, d *Dataset, q Query, opts ...Option) (*Region, error) {
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
-	}
-	prep, err := core.Prepare(d.points(), d.Dim(), cfg.skyband)
+// SolveContext answers the reverse regret query under a context and returns
+// the full Result: region, work counters and elapsed time. A context
+// deadline aborts the solve with ErrDeadline, cancellation with ctx.Err();
+// both are observed with an amortized check inside the solver hot loops, so
+// aborts take effect within a bounded amount of work. WithTrace and
+// WithMetrics attach per-solve observability.
+func SolveContext(ctx context.Context, d *Dataset, q Query, opts ...Option) (Result, error) {
+	p, err := Prepare(d, opts...)
 	if err != nil {
-		return nil, err
+		return Result{}, err
 	}
-	s, err := solverFor(cfg, d.Dim())
-	if err != nil {
-		return nil, err
-	}
-	cq := q.toCore()
-	r, _, err := s.Solve(ctx, prep, cq)
-	if err != nil {
-		return nil, err
-	}
-	return &Region{inner: r, q: cq}, nil
+	return p.Solve(ctx, q)
 }
 
 // ErrDeadline is returned when a solve exceeds its context deadline.
@@ -329,10 +423,22 @@ func BuildPBAIndex(d *Dataset, kmax, maxNodes int) (*PBAIndex, error) {
 // ErrPBABudget signals that PBA+ preprocessing exceeded its node budget.
 var ErrPBABudget = baseline.ErrPBABudget
 
-// Query answers a reverse regret query with the prebuilt index.
+// Query answers a reverse regret query with the prebuilt index. It is
+// QueryContext with a background context and no options.
 func (ix *PBAIndex) Query(q Query) (*Region, error) {
+	return ix.QueryContext(context.Background(), q)
+}
+
+// QueryContext answers a reverse regret query with the prebuilt index under
+// a context. WithTrace and WithMetrics attach per-query observability;
+// other options are ignored (the index fixes the algorithm).
+func (ix *PBAIndex) QueryContext(ctx context.Context, q Query, opts ...Option) (*Region, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	cq := q.toCore()
-	r, err := ix.inner.Query(cq)
+	r, err := ix.inner.QueryContext(cfg.obsContext(ctx), cq)
 	if err != nil {
 		return nil, err
 	}
