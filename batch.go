@@ -102,8 +102,9 @@ type BatchReport struct {
 
 // SolveBatch answers the queries concurrently over the shared
 // preprocessing, using the worker count fixed at Prepare time (WithWorkers;
-// ≤ 0 means GOMAXPROCS). Results arrive in query order regardless of
-// scheduling. When ctx is canceled mid-batch, in-flight solves abort at
+// ≤ 0 means GOMAXPROCS). WithIntraQueryWorkers additionally parallelizes
+// the inside of each solve; the two multiply, so keep workers × intra near
+// GOMAXPROCS. Results arrive in query order regardless of scheduling. When ctx is canceled mid-batch, in-flight solves abort at
 // their next amortized check (a deadline surfaces as ErrDeadline,
 // cancellation as ctx.Err()) and queries not yet started report ctx.Err()
 // without running.

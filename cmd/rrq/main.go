@@ -42,6 +42,7 @@ func main() {
 		profile  = flag.Bool("profile", false, "print the market-share curve over ε instead of solving one query")
 		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 		workers  = flag.Int("workers", 0, "worker pool size for -queries batches (0 = GOMAXPROCS)")
+		intra    = flag.Int("intra-workers", 0, "workers inside each solve (E-PT subtree / A-PC sample pools; <=1 = serial)")
 		metrics  = flag.Bool("metrics", false, "print solver metrics (phase timers, work counters) after solving")
 	)
 	flag.Parse()
@@ -87,7 +88,7 @@ func main() {
 	}
 
 	if *qsStr != "" {
-		opts := []rrq.Option{rrq.WithAlgorithm(algo), rrq.WithWorkers(*workers)}
+		opts := []rrq.Option{rrq.WithAlgorithm(algo), rrq.WithWorkers(*workers), rrq.WithIntraQueryWorkers(*intra)}
 		if *samples > 0 {
 			opts = append(opts, rrq.WithSamples(*samples))
 		}
@@ -135,7 +136,7 @@ func main() {
 		return
 	}
 
-	opts := []rrq.Option{rrq.WithAlgorithm(algo)}
+	opts := []rrq.Option{rrq.WithAlgorithm(algo), rrq.WithIntraQueryWorkers(*intra)}
 	if *samples > 0 {
 		opts = append(opts, rrq.WithSamples(*samples))
 	}

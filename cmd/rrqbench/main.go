@@ -9,6 +9,7 @@
 //	rrqbench -exp fig9a,fig9b -full
 //	rrqbench -list
 //	rrqbench -benchjson BENCH_solve.json   # machine-readable solve benchmark
+//	rrqbench -benchjson BENCH_solve.json -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -62,12 +64,45 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write each table as <dir>/<table-id>.csv")
 		budget  = flag.Duration("budget", 0, "per-cell wall-clock budget (0 = default)")
 		timeout = flag.Duration("timeout", 0, "alias of -budget: per-cell wall-clock budget (0 = default)")
-		workers   = flag.Int("workers", 0, "worker count for the batch experiment (0 = sweep defaults)")
-		benchJSON = flag.String("benchjson", "", "run the solve benchmark suite and write machine-readable JSON to this path")
+		workers    = flag.Int("workers", 0, "worker count for the batch experiment (0 = sweep defaults)")
+		benchJSON  = flag.String("benchjson", "", "run the solve benchmark suite and write machine-readable JSON to this path")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this path (go tool pprof)")
 	)
 	flag.Parse()
 	if *budget == 0 {
 		*budget = *timeout
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rrqbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rrqbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rrqbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recent frees so the profile reflects live + cumulative allocs
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "rrqbench:", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -124,7 +159,8 @@ type benchScenario struct {
 	K       int
 	Eps     float64
 	Queries int
-	Workers int // 0 = GOMAXPROCS
+	Workers int // batch (inter-query) workers; 0 = GOMAXPROCS
+	Intra   int // intra-query workers; 0/1 = serial solves
 }
 
 // benchPhase is the JSON form of one phase timer.
@@ -146,11 +182,14 @@ type benchResult struct {
 	Eps         float64               `json:"eps"`
 	Queries     int                   `json:"queries"`
 	Workers     int                   `json:"workers"`
+	Intra       int                   `json:"intra_workers"`
 	Solved      int                   `json:"solved"`
 	Failed      int                   `json:"failed"`
 	ElapsedNs   int64                 `json:"elapsed_ns"`
 	QueryTimeNs int64                 `json:"query_time_ns"`
 	NsPerQuery  int64                 `json:"ns_per_query"`
+	AllocsPerQ  int64                 `json:"allocs_per_query"`
+	BytesPerQ   int64                 `json:"bytes_per_query"`
 	Stats       rrq.Stats             `json:"stats"`
 	Phases      map[string]benchPhase `json:"phases"`
 }
@@ -177,7 +216,14 @@ func benchSuite(full bool) []benchScenario {
 		{Name: "ept-3d", Dist: rrq.Independent, N: 2000 * mul, D: 3, Algo: rrq.EPTAlgo, K: 5, Eps: 0.1, Queries: 16 * mul},
 		{Name: "ept-4d", Dist: rrq.Anticorrelated, N: 1000 * mul, D: 4, Algo: rrq.EPTAlgo, K: 5, Eps: 0.1, Queries: 8 * mul},
 		{Name: "ept-4d-serial", Dist: rrq.Anticorrelated, N: 1000 * mul, D: 4, Algo: rrq.EPTAlgo, K: 5, Eps: 0.1, Queries: 8 * mul, Workers: 1},
+		// Intra-query parallelism: one query at a time, the worker pool
+		// inside the solve. Paired with the -serial row above / below for
+		// the latency speedup figure.
+		{Name: "ept-4d-intra8", Dist: rrq.Anticorrelated, N: 1000 * mul, D: 4, Algo: rrq.EPTAlgo, K: 5, Eps: 0.1, Queries: 8 * mul, Workers: 1, Intra: 8},
+		{Name: "ept-5d-serial", Dist: rrq.Anticorrelated, N: 400 * mul, D: 5, Algo: rrq.EPTAlgo, K: 5, Eps: 0.1, Queries: 4 * mul, Workers: 1},
+		{Name: "ept-5d-intra8", Dist: rrq.Anticorrelated, N: 400 * mul, D: 5, Algo: rrq.EPTAlgo, K: 5, Eps: 0.1, Queries: 4 * mul, Workers: 1, Intra: 8},
 		{Name: "apc-4d", Dist: rrq.Independent, N: 2000 * mul, D: 4, Algo: rrq.APCAlgo, K: 5, Eps: 0.1, Queries: 8 * mul},
+		{Name: "apc-4d-intra8", Dist: rrq.Independent, N: 2000 * mul, D: 4, Algo: rrq.APCAlgo, K: 5, Eps: 0.1, Queries: 8 * mul, Workers: 1, Intra: 8},
 		{Name: "lpcta-3d", Dist: rrq.Independent, N: 150 * mul, D: 3, Algo: rrq.LPCTAAlgo, K: 3, Eps: 0.1, Queries: 4 * mul},
 	}
 }
@@ -202,12 +248,20 @@ func runBenchJSON(path string, full bool, seed int64) error {
 			queries[i] = rrq.Query{Q: ds.RandomQuery(seed + int64(i)), K: sc.K, Epsilon: sc.Eps}
 		}
 		reg := rrq.NewRegistry()
+		// Mallocs/TotalAlloc deltas around the batch give allocs and bytes
+		// per query; a GC fence before the first read keeps concurrent
+		// sweep work of the previous scenario out of the window.
+		runtime.GC()
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		report, err := rrq.SolveBatch(context.Background(), ds, queries,
 			rrq.WithAlgorithm(sc.Algo), rrq.WithWorkers(sc.Workers),
+			rrq.WithIntraQueryWorkers(sc.Intra),
 			rrq.WithSeed(seed), rrq.WithMetrics(reg))
 		if err != nil {
 			return fmt.Errorf("%s: %w", sc.Name, err)
 		}
+		runtime.ReadMemStats(&msAfter)
 		res := benchResult{
 			Name:        sc.Name,
 			Algo:        sc.Algo.String(),
@@ -217,6 +271,7 @@ func runBenchJSON(path string, full bool, seed int64) error {
 			Eps:         sc.Eps,
 			Queries:     sc.Queries,
 			Workers:     sc.Workers,
+			Intra:       sc.Intra,
 			Solved:      report.Solved,
 			Failed:      report.Failed,
 			ElapsedNs:   report.Elapsed.Nanoseconds(),
@@ -226,6 +281,8 @@ func runBenchJSON(path string, full bool, seed int64) error {
 		}
 		if sc.Queries > 0 {
 			res.NsPerQuery = report.QueryTime.Nanoseconds() / int64(sc.Queries)
+			res.AllocsPerQ = int64(msAfter.Mallocs-msBefore.Mallocs) / int64(sc.Queries)
+			res.BytesPerQ = int64(msAfter.TotalAlloc-msBefore.TotalAlloc) / int64(sc.Queries)
 		}
 		for name, s := range report.Phases {
 			res.Phases[name] = benchPhase{
@@ -237,9 +294,10 @@ func runBenchJSON(path string, full bool, seed int64) error {
 			}
 		}
 		rep.Results = append(rep.Results, res)
-		fmt.Printf("%-16s %-10s n=%-6d d=%d  %d queries in %v (%v/query)\n",
+		fmt.Printf("%-16s %-10s n=%-6d d=%d  %d queries in %v (%v/query, %d allocs/query)\n",
 			sc.Name, res.Algo, sc.N, sc.D, sc.Queries,
-			report.Elapsed.Round(time.Millisecond), time.Duration(res.NsPerQuery).Round(time.Microsecond))
+			report.Elapsed.Round(time.Millisecond), time.Duration(res.NsPerQuery).Round(time.Microsecond),
+			res.AllocsPerQ)
 	}
 	f, err := os.Create(path)
 	if err != nil {

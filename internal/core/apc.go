@@ -5,8 +5,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"rrq/internal/geom"
 	"rrq/internal/obs"
@@ -115,34 +113,11 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 	negs := make([][]int32, n)
 	oks := make([]bool, n)
 	if opt.Workers > 1 {
-		var wg sync.WaitGroup
-		next := int64(0)
-		werrs := make([]error, opt.Workers)
-		for w := 0; w < opt.Workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				// A CtxChecker is not concurrency-safe; each worker
-				// amortizes its own checks over its share of samples.
-				wc := NewCtxChecker(ctx, 0x3f)
-				for {
-					i := int(atomic.AddInt64(&next, 1)) - 1
-					if i >= n {
-						return
-					}
-					if wc.Stop() {
-						werrs[w] = wc.Err()
-						return
-					}
-					negs[i], oks[i] = classify(us[i])
-				}
-			}(w)
-		}
-		wg.Wait()
-		for _, err := range werrs {
-			if err != nil {
-				return nil, st, err
-			}
+		err := parallelFor(ctx, opt.Workers, n, 0x3f, func(i int) {
+			negs[i], oks[i] = classify(us[i])
+		})
+		if err != nil {
+			return nil, st, err
 		}
 	} else {
 		for i, u := range us {
@@ -246,6 +221,9 @@ func buildPartition(pts []vec.Vec, q Query, u vec.Vec, orig, negC []int32, check
 	for _, j := range negC {
 		isNeg[j] = true
 	}
+	// One scratch normal reused across points; NewHyperplane stores a
+	// normalized copy.
+	w := vec.New(d)
 	for j, p := range pts {
 		if check.Stop() {
 			return nil, check.Err()
@@ -257,7 +235,9 @@ func buildPartition(pts []vec.Vec, q Query, u vec.Vec, orig, negC []int32, check
 		case inOrig[int32(j)]:
 			continue // merged away: left unconstrained
 		}
-		w := q.Q.AddScaled(-scale, p)
+		for x := range w {
+			w[x] = q.Q[x] - scale*p[x]
+		}
 		if w.Norm() < vec.Eps {
 			continue // boundary-degenerate plane, whole space on it
 		}

@@ -33,6 +33,12 @@ type EPTOptions struct {
 	// NoLazySplit splits leaves eagerly on every crossing plane instead of
 	// deferring through H(N).
 	NoLazySplit bool
+	// Workers parallelizes each plane insertion across the partition tree's
+	// independent subtrees (see ept_parallel.go). ≤ 1 runs serially. The
+	// answer is byte-identical for every worker count: the tree refinement
+	// decomposes into disjoint per-subtree work, so scheduling cannot
+	// change any geometric decision.
+	Workers int
 }
 
 // EPT solves RRQ exactly in any dimension via the partition tree
@@ -86,18 +92,34 @@ func EPTContext(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions) (*R
 	if !opt.NoReduction || !opt.NoOrdering {
 		planes = reduceAndOrderPlanesOpt(ps.crossing, k, opt.NoReduction, opt.NoOrdering)
 	}
+	// Repack the surviving normals into one flat block: every relation test
+	// of the insert phase streams over these, and after the reduction the
+	// per-plane normals are scattered across the heap.
+	geom.PackNormals(planes)
 	st.PlanesInserted = len(planes)
 	check.Emit(obs.EvPlanePruned, st.PlanesBuilt-st.PlanesInserted)
 	planePhase()
 
 	insertPhase := check.Phase("phase.ept.insert")
-	t := &eptTree{k: k, stats: &st, eager: opt.NoLazySplit, check: check}
+	t := &eptTree{k: k, eager: opt.NoLazySplit}
 	t.root = &eptNode{cell: geom.NewSimplex(d)}
 	st.NodesCreated++
-	for _, h := range planes {
-		t.insert(t.root, h)
-		if check.Failed() {
-			return nil, st, check.Err()
+	if opt.Workers > 1 {
+		pool := newEPTPool(ctx, t, opt.Workers)
+		err := pool.run(planes, check)
+		pool.drain(&st, check)
+		if err != nil {
+			insertPhase()
+			return nil, st, err
+		}
+	} else {
+		e := &eptCtx{t: t, stats: &st, check: check}
+		for _, h := range planes {
+			e.insert(t.root, h)
+			if check.Failed() {
+				insertPhase()
+				return nil, st, check.Err()
+			}
 		}
 	}
 	insertPhase()
@@ -134,9 +156,18 @@ func reduceAndOrderPlanesOpt(planes []geom.Hyperplane, k int, noReduce, noOrder 
 	if m == 0 {
 		return nil
 	}
+	d := planes[0].Normal.Dim()
+	// All negated unit normals share one flat backing array; the skyband
+	// scan is a pure read over them.
+	flat := make([]float64, m*d)
 	negUnits := make([]vec.Vec, m)
 	for i, h := range planes {
-		negUnits[i] = h.Unit().Scale(-1)
+		u := h.Unit()
+		nu := flat[i*d : (i+1)*d : (i+1)*d]
+		for j, x := range u {
+			nu[j] = -x
+		}
+		negUnits[i] = nu
 	}
 	var keepIdx []int
 	if noReduce {
@@ -183,12 +214,39 @@ func reduceAndOrderPlanesOpt(planes []geom.Hyperplane, k int, noReduce, noOrder 
 	return out
 }
 
+// eptTree is the shared partition tree: structure and parameters only. All
+// mutable per-run bookkeeping (counters, cancellation, event buffers) lives
+// in eptCtx so several execution contexts can refine disjoint subtrees
+// concurrently.
 type eptTree struct {
 	root  *eptNode
 	k     int
-	stats *Stats
 	eager bool // ablation: split on every crossing plane immediately
-	check *CtxChecker
+}
+
+// eptCtx is one execution context over the tree: the serial solver uses a
+// single context streaming events directly, the worker pool gives each
+// worker its own (per-worker Stats, per-worker CtxChecker — the checker is
+// not concurrency-safe — and buffered trace events, merged when the pool
+// drains). A context only ever touches nodes of the subtree it was handed,
+// so contexts never contend.
+type eptCtx struct {
+	t      *eptTree
+	stats  *Stats
+	check  *CtxChecker
+	pool   *eptPool // nil when serial
+	splits int      // buffered EvNodeSplit count (pool mode only)
+}
+
+// emitSplit records one node split: streamed immediately in serial mode,
+// buffered per worker in pool mode (the trace hook contract is that per-kind
+// sums match Stats, not event granularity).
+func (e *eptCtx) emitSplit() {
+	if e.pool == nil {
+		e.check.Emit(obs.EvNodeSplit, 1)
+	} else {
+		e.splits++
+	}
 }
 
 // needSplit is the lazy-split trigger; in eager mode any pending plane
@@ -200,26 +258,35 @@ func (t *eptTree) needSplit(n *eptNode) bool {
 	return n.q+len(n.lazy) >= t.k
 }
 
-// insert performs the top-down insertion of Algorithm 2.
-func (t *eptTree) insert(n *eptNode, h geom.Hyperplane) {
-	if n.invalid || t.check.Stop() {
+// insert performs the top-down insertion of Algorithm 2. In pool mode an
+// internal crossing node hands one child subtree to the worker pool and
+// descends into the other itself; every other step is identical to the
+// serial path, which is what keeps the answer independent of the worker
+// count.
+func (e *eptCtx) insert(n *eptNode, h geom.Hyperplane) {
+	if n.invalid || e.check.Stop() {
 		return
 	}
 	switch n.cell.Relation(h) {
 	case geom.RelNeg:
-		t.coverNeg(n)
+		e.coverNeg(n)
 	case geom.RelPos:
 		// Case 2: nothing in this subtree is affected.
 	case geom.RelCross:
 		if !n.leaf() {
+			if e.pool != nil {
+				e.pool.spawn(n.children[0], h, e)
+				e.insert(n.children[1], h)
+				return
+			}
 			for _, c := range n.children {
-				t.insert(c, h)
+				e.insert(c, h)
 			}
 			return
 		}
 		n.lazy = append(n.lazy, h)
-		if t.needSplit(n) {
-			t.lazySplit(n)
+		if e.t.needSplit(n) {
+			e.lazySplit(n)
 		}
 	}
 }
@@ -227,23 +294,23 @@ func (t *eptTree) insert(n *eptNode, h geom.Hyperplane) {
 // coverNeg applies a covering negative half-space to n's whole subtree
 // (Case 1, with the Lemma 5.3 shortcut: descendants inherit the coverage
 // without re-running geometric checks).
-func (t *eptTree) coverNeg(n *eptNode) {
-	if n.invalid || t.check.Stop() {
+func (e *eptCtx) coverNeg(n *eptNode) {
+	if n.invalid || e.check.Stop() {
 		return
 	}
 	n.q++
-	if n.q >= t.k {
+	if n.q >= e.t.k {
 		n.invalid = true
 		return
 	}
 	if !n.leaf() {
 		for _, c := range n.children {
-			t.coverNeg(c)
+			e.coverNeg(c)
 		}
 		return
 	}
-	if n.q+len(n.lazy) >= t.k {
-		t.lazySplit(n)
+	if n.q+len(n.lazy) >= e.t.k {
+		e.lazySplit(n)
 	}
 }
 
@@ -251,8 +318,8 @@ func (t *eptTree) coverNeg(n *eptNode) {
 // qualification budget is respected again (paper §5.1.2, Lazy_Split +
 // Refine). The loop also absorbs numerically degenerate splits where one
 // side vanishes.
-func (t *eptTree) lazySplit(n *eptNode) {
-	for !n.invalid && n.leaf() && t.needSplit(n) && !t.check.Stop() {
+func (e *eptCtx) lazySplit(n *eptNode) {
+	for !n.invalid && n.leaf() && e.t.needSplit(n) && !e.check.Stop() {
 		if len(n.lazy) == 0 {
 			// q ≥ k without pending planes: disqualified outright.
 			n.invalid = true
@@ -271,20 +338,20 @@ func (t *eptTree) lazySplit(n *eptNode) {
 			// The cell is effectively on the negative side.
 			n.cell = neg
 			n.q++
-			if n.q >= t.k {
+			if n.q >= e.t.k {
 				n.invalid = true
 				return
 			}
 		default:
-			t.stats.Splits++
-			t.check.Emit(obs.EvNodeSplit, 1)
+			e.stats.Splits++
+			e.emitSplit()
 			left := &eptNode{cell: neg, q: n.q + 1, lazy: append([]geom.Hyperplane(nil), n.lazy...)}
 			right := &eptNode{cell: pos, q: n.q, lazy: n.lazy}
-			t.stats.NodesCreated += 2
+			e.stats.NodesCreated += 2
 			n.children = []*eptNode{left, right}
 			n.lazy = nil
-			t.refine(left)
-			t.refine(right)
+			e.refine(left)
+			e.refine(right)
 			return
 		}
 	}
@@ -293,8 +360,8 @@ func (t *eptTree) lazySplit(n *eptNode) {
 // refine re-checks a fresh child's inherited H(N) against its smaller cell,
 // dropping planes that no longer cross it and folding covering negative
 // half-spaces into the counter, then re-applies the lazy-split trigger.
-func (t *eptTree) refine(n *eptNode) {
-	if n.q >= t.k {
+func (e *eptCtx) refine(n *eptNode) {
+	if n.q >= e.t.k {
 		n.invalid = true
 		return
 	}
@@ -303,7 +370,7 @@ func (t *eptTree) refine(n *eptNode) {
 		switch n.cell.Relation(h) {
 		case geom.RelNeg:
 			n.q++
-			if n.q >= t.k {
+			if n.q >= e.t.k {
 				n.invalid = true
 				return
 			}
@@ -314,8 +381,8 @@ func (t *eptTree) refine(n *eptNode) {
 		}
 	}
 	n.lazy = kept
-	if t.needSplit(n) {
-		t.lazySplit(n)
+	if e.t.needSplit(n) {
+		e.lazySplit(n)
 	}
 }
 

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"rrq/internal/geom"
+	"rrq/internal/obs"
+)
+
+// Intra-query parallel E-PT.
+//
+// The insertion of one hyper-plane into the partition tree decomposes into
+// independent per-subtree work: when the plane crosses an internal node,
+// the two children are refined without ever reading or writing each other's
+// state (sibling cells share only immutable data — constraint-list tails
+// and vertex coordinate slices — and every node is descended into by
+// exactly one task). The pool exploits exactly that decomposition and
+// nothing else: each task runs the unmodified serial insertion over its
+// subtree, so every geometric decision is identical to the serial solver
+// and the collected cells are byte-identical for any worker count.
+//
+// Planes are still inserted strictly one after another (pending.Wait is
+// the inter-plane barrier); parallelism is within a plane, across the
+// frontier of subtrees it crosses. That preserves the W(h)-descending
+// insertion order the accelerations of §5.1.2 rely on.
+
+// eptTask is one unit of pool work: insert plane h into the subtree at n.
+type eptTask struct {
+	n *eptNode
+	h geom.Hyperplane
+}
+
+// eptPool is the per-solve worker pool. Workers own one eptCtx each
+// (per-worker Stats, CtxChecker and buffered trace counts — none of those
+// types are concurrency-safe), merged into the solve's totals by drain.
+type eptPool struct {
+	tree    *eptTree
+	tasks   chan eptTask
+	pending sync.WaitGroup // outstanding tasks of the current plane
+	done    sync.WaitGroup // running workers
+	ctxs    []*eptCtx
+}
+
+func newEPTPool(ctx context.Context, t *eptTree, workers int) *eptPool {
+	p := &eptPool{
+		tree:  t,
+		tasks: make(chan eptTask, workers*64),
+		ctxs:  make([]*eptCtx, workers),
+	}
+	for w := range p.ctxs {
+		e := &eptCtx{t: t, stats: new(Stats), check: NewCtxChecker(ctx, 0xfff), pool: p}
+		p.ctxs[w] = e
+		p.done.Add(1)
+		go func(e *eptCtx) {
+			defer p.done.Done()
+			for task := range p.tasks {
+				e.insert(task.n, task.h)
+				p.pending.Done()
+			}
+		}(e)
+	}
+	return p
+}
+
+// run inserts the planes in order. Within one plane the crossing subtrees
+// are refined concurrently; pending.Wait is the barrier that makes every
+// mutation of plane i visible before plane i+1 starts (WaitGroup Done
+// happens-before Wait returning, and the subsequent channel send orders the
+// next plane's reads).
+func (p *eptPool) run(planes []geom.Hyperplane, check *CtxChecker) error {
+	for _, h := range planes {
+		p.pending.Add(1)
+		p.tasks <- eptTask{p.tree.root, h}
+		p.pending.Wait()
+		if check.Stop() {
+			return check.Err()
+		}
+		for _, e := range p.ctxs {
+			if e.check.Failed() {
+				return e.check.Err()
+			}
+		}
+	}
+	return nil
+}
+
+// spawn hands a subtree to the pool. The counter is raised before the send
+// (the spawning worker still holds its own task, so pending never touches
+// zero while work is outstanding). When the queue is full the task runs
+// inline on the spawning worker instead — workers must never block on the
+// queue, or a full queue of tasks that all want to spawn would deadlock.
+func (p *eptPool) spawn(n *eptNode, h geom.Hyperplane, from *eptCtx) {
+	p.pending.Add(1)
+	select {
+	case p.tasks <- eptTask{n, h}:
+	default:
+		from.insert(n, h)
+		p.pending.Done()
+	}
+}
+
+// drain shuts the workers down and merges their buffered bookkeeping into
+// the solve's totals: Stats counters are summed (order-independent), and
+// the buffered split counts become one aggregated EvNodeSplit event, so
+// per-kind trace sums still match the Stats counters exactly.
+func (p *eptPool) drain(st *Stats, check *CtxChecker) {
+	close(p.tasks)
+	p.done.Wait()
+	splits := 0
+	for _, e := range p.ctxs {
+		st.Add(*e.stats)
+		splits += e.splits
+	}
+	if splits > 0 {
+		check.Emit(obs.EvNodeSplit, splits)
+	}
+}

@@ -32,8 +32,16 @@ type constraintJSON struct {
 // in an interval for 2-d sweep output).
 func (r *Region) MarshalJSON() ([]byte, error) {
 	out := regionJSON{Dim: r.dim, Intervals: r.intervals}
+	if len(r.cells) > 0 {
+		out.Cells = make([]cellJSON, 0, len(r.cells))
+	}
 	for _, c := range r.cells {
-		cj := cellJSON{}
+		// NumConstraints/NumVertices size the slices exactly without
+		// materializing the constraint list twice.
+		cj := cellJSON{
+			Constraints: make([]constraintJSON, 0, c.NumConstraints()),
+			Vertices:    make([][]float64, 0, c.NumVertices()),
+		}
 		for _, con := range c.Constraints() {
 			cj.Constraints = append(cj.Constraints, constraintJSON{
 				Normal: con.H.Normal,

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rrq/internal/obs"
+)
+
+// TestEPTParallelDeterminism checks the pool's core guarantee: the region
+// produced by parallel E-PT is byte-for-byte identical (JSON encoding, which
+// fixes cell order, constraint order and vertex order) to the serial
+// solver's, for every worker count — and the Stats counters match too.
+func TestEPTParallelDeterminism(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		d := d
+		t.Run(fmt.Sprintf("d=%d", d), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(900 + d)))
+			for trial := 0; trial < 4; trial++ {
+				pts, q := randomInstance(rng, 60, d)
+				ref, refStats, err := EPTWithOptions(pts, q, EPTOptions{})
+				if err != nil {
+					t.Fatalf("serial: %v", err)
+				}
+				refJSON, err := ref.MarshalJSON()
+				if err != nil {
+					t.Fatalf("marshal serial: %v", err)
+				}
+				for _, workers := range []int{1, 2, 8} {
+					got, gotStats, err := EPTWithOptions(pts, q, EPTOptions{Workers: workers})
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					gotJSON, err := got.MarshalJSON()
+					if err != nil {
+						t.Fatalf("marshal workers=%d: %v", workers, err)
+					}
+					if !bytes.Equal(refJSON, gotJSON) {
+						t.Fatalf("workers=%d trial=%d: region differs from serial\nserial: %s\nparallel: %s",
+							workers, trial, refJSON, gotJSON)
+					}
+					if gotStats != refStats {
+						t.Fatalf("workers=%d trial=%d: stats differ: serial %+v parallel %+v",
+							workers, trial, refStats, gotStats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAPCParallelDeterminism checks the same property for A-PC's sample
+// classification pool: samples are drawn up front, so the kept set — and
+// the constructed region — cannot depend on the worker count.
+func TestAPCParallelDeterminism(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		d := d
+		t.Run(fmt.Sprintf("d=%d", d), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(700 + d)))
+			for trial := 0; trial < 4; trial++ {
+				pts, q := randomInstance(rng, 60, d)
+				ref, refStats, err := APCContext(context.Background(), pts, q,
+					APCOptions{Samples: 80, Seed: 42})
+				if err != nil {
+					t.Fatalf("serial: %v", err)
+				}
+				refJSON, err := ref.MarshalJSON()
+				if err != nil {
+					t.Fatalf("marshal serial: %v", err)
+				}
+				for _, workers := range []int{1, 2, 8} {
+					got, gotStats, err := APCContext(context.Background(), pts, q,
+						APCOptions{Samples: 80, Seed: 42, Workers: workers})
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					gotJSON, err := got.MarshalJSON()
+					if err != nil {
+						t.Fatalf("marshal workers=%d: %v", workers, err)
+					}
+					if !bytes.Equal(refJSON, gotJSON) {
+						t.Fatalf("workers=%d trial=%d: region differs from serial", workers, trial)
+					}
+					if gotStats != refStats {
+						t.Fatalf("workers=%d trial=%d: stats differ: serial %+v parallel %+v",
+							workers, trial, refStats, gotStats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEPTParallelTraceParity checks that the pool's aggregated event
+// emission preserves the trace contract: per-kind event sums equal the
+// Stats counters, exactly as in serial mode.
+func TestEPTParallelTraceParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts, q := randomInstance(rng, 80, 4)
+	sums := map[obs.EventKind]int{}
+	ctx := obs.ContextWithTrace(context.Background(), func(e obs.Event) {
+		sums[e.Kind] += e.N
+	})
+	_, st, err := EPTContext(ctx, pts, q, EPTOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[obs.EvNodeSplit] != st.Splits {
+		t.Errorf("EvNodeSplit sum %d != Stats.Splits %d", sums[obs.EvNodeSplit], st.Splits)
+	}
+	if sums[obs.EvPlaneBuilt] != st.PlanesBuilt {
+		t.Errorf("EvPlaneBuilt sum %d != Stats.PlanesBuilt %d", sums[obs.EvPlaneBuilt], st.PlanesBuilt)
+	}
+	if sums[obs.EvPieceEmitted] != st.Pieces {
+		t.Errorf("EvPieceEmitted sum %d != Stats.Pieces %d", sums[obs.EvPieceEmitted], st.Pieces)
+	}
+}
+
+// TestEPTParallelCancellation checks that a canceled context aborts a
+// parallel solve with the context's error and no goroutine leak (the -race
+// runs of CI double as the leak/teardown check).
+func TestEPTParallelCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	pts, q := randomInstance(rng, 200, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := EPTContext(ctx, pts, q, EPTOptions{Workers: 4})
+	if err == nil {
+		t.Fatal("expected error from canceled context")
+	}
+}

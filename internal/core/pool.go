@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs body(i) for every i in [0,n) across workers goroutines
+// pulling indices from a shared atomic cursor. Each worker owns a private
+// CtxChecker (the checker is not concurrency-safe) that samples ctx every
+// mask+1 iterations; on cancellation the worker stops pulling and the first
+// error observed (in worker order) is returned after all workers exit.
+// Callers must ensure body(i) touches only state private to index i — the
+// helper provides no ordering between bodies beyond the final barrier.
+func parallelFor(ctx context.Context, workers, n int, mask uint32, body func(i int)) error {
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := int64(0)
+	werrs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := NewCtxChecker(ctx, mask)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				if wc.Stop() {
+					werrs[w] = wc.Err()
+					return
+				}
+				body(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range werrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -188,10 +188,14 @@ func (ps planeSet) kEff(k int) int { return k - ps.base }
 func buildPlanes(pts []vec.Vec, q Query) planeSet {
 	ps := planeSet{d: q.Q.Dim()}
 	scale := 1 - q.Eps
+	// One scratch normal reused across points: NewHyperplane stores a
+	// normalized copy, so only crossing planes cost an allocation.
+	w := vec.New(ps.d)
 	for i, p := range pts {
-		w := q.Q.AddScaled(-scale, p)
 		neg, pos := false, false
-		for _, x := range w {
+		for j := range w {
+			x := q.Q[j] - scale*p[j]
+			w[j] = x
 			if x > geom.Tol {
 				pos = true
 			} else if x < -geom.Tol {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"rrq/internal/vec"
 )
@@ -290,18 +291,34 @@ func (c *Cell) Clip(h Hyperplane, sign int) *Cell {
 	return neg
 }
 
+// classified pairs a vertex with its side and signed offset for one cut.
+type classified struct {
+	v    vertex
+	side int
+	val  float64
+}
+
+// splitScratch holds the transient buffers of one split invocation. Nothing
+// in it escapes: vertex values are copied into the output cells' own
+// slices, so recycling the backing arrays through a sync.Pool is safe even
+// though the cells live arbitrarily long. Pooling matters because the
+// solvers perform one split per tree refinement or clip — and, under
+// intra-query parallelism, from many goroutines at once.
+type splitScratch struct {
+	cls   []classified
+	fresh []vertex
+}
+
+var splitPool = sync.Pool{New: func() any { return new(splitScratch) }}
+
 func (c *Cell) split(h Hyperplane, wantNeg, wantPos bool) (neg, pos *Cell) {
-	type classified struct {
-		v    vertex
-		side int
-		val  float64
-	}
-	cls := make([]classified, len(c.verts))
+	sc := splitPool.Get().(*splitScratch)
+	cls := sc.cls[:0]
 	nNeg, nPos := 0, 0
-	for i, v := range c.verts {
+	for _, v := range c.verts {
 		val := h.Eval(v.pt)
 		side := vec.Sign(val, Tol)
-		cls[i] = classified{v, side, val}
+		cls = append(cls, classified{v, side, val})
 		switch side {
 		case SideNeg:
 			nNeg++
@@ -309,98 +326,95 @@ func (c *Cell) split(h Hyperplane, wantNeg, wantPos bool) (neg, pos *Cell) {
 			nPos++
 		}
 	}
+	nOn := len(cls) - nNeg - nPos
 	hid := int32(c.dim + h.ID)
-
-	build := func(keep int, conSign int) *Cell {
-		out := &Cell{dim: c.dim}
-		out.cons = &consList{con: Constraint{H: h, Sign: conSign}, prev: c.cons}
-		out.nCons = c.nCons + 1
-		for _, cl := range cls {
-			switch cl.side {
-			case keep:
-				out.verts = append(out.verts, cl.v)
-			case SideOn:
-				out.verts = append(out.verts, vertex{pt: cl.v.pt, tight: cl.v.tight.with(hid)})
-			}
-		}
-		return out
-	}
-
-	newCon := Constraint{H: h}
-	finish := func(out *Cell, sign int) {
-		if out == nil {
-			return
-		}
-		nc := newCon
-		nc.Sign = sign
-		out.facets = filterFacets(c.facets, nc, out.verts, c.dim)
-	}
-	if nNeg > 0 && wantNeg {
-		neg = build(SideNeg, -1)
-	}
-	if nPos > 0 && wantPos {
-		pos = build(SidePos, +1)
-	}
-	if nNeg == 0 || nPos == 0 {
-		finish(neg, -1)
-		finish(pos, +1)
-		return neg, pos
-	}
 
 	// New extreme points: intersections of cell edges crossing the plane.
 	// Two vertices are edge-adjacent iff they share at least d−2 tight
 	// constraints; in degenerate configurations this may admit pairs that
 	// only span a common face, whose intersection points still lie inside
 	// the cell and on the plane, keeping all downstream tests sound.
-	need := c.dim - 2
-	var fresh []vertex
-	for i := range cls {
-		if cls[i].side != SidePos {
-			continue
-		}
-		for j := range cls {
-			if cls[j].side != SideNeg {
+	// Computed before the cells are built so the output vertex slices can
+	// be allocated at their exact final size.
+	fresh := sc.fresh[:0]
+	if nNeg > 0 && nPos > 0 {
+		need := c.dim - 2
+		for i := range cls {
+			if cls[i].side != SidePos {
 				continue
 			}
-			shared := cls[i].v.tight.intersect(cls[j].v.tight)
-			if len(shared) < need {
-				continue
+			for j := range cls {
+				if cls[j].side != SideNeg {
+					continue
+				}
+				// Count first: pairs failing the adjacency threshold are
+				// the common case and must not allocate.
+				if cls[i].v.tight.intersectCount(cls[j].v.tight) < need {
+					continue
+				}
+				t := cls[i].val / (cls[i].val - cls[j].val)
+				pt := cls[i].v.pt.Lerp(cls[j].v.pt, t)
+				fresh = appendVertex(fresh, vertex{pt: pt, tight: cls[i].v.tight.intersectWith(cls[j].v.tight, hid)})
 			}
-			t := cls[i].val / (cls[i].val - cls[j].val)
-			pt := cls[i].v.pt.Lerp(cls[j].v.pt, t)
-			fresh = appendVertex(fresh, vertex{pt: pt, tight: shared.with(hid)})
 		}
 	}
-	if neg != nil {
-		neg.verts = append(neg.verts, fresh...)
+
+	build := func(keep, nKeep, conSign int) *Cell {
+		out := &Cell{dim: c.dim}
+		out.cons = &consList{con: Constraint{H: h, Sign: conSign}, prev: c.cons}
+		out.nCons = c.nCons + 1
+		verts := make([]vertex, 0, nKeep+nOn+len(fresh))
+		for _, cl := range cls {
+			switch cl.side {
+			case keep:
+				verts = append(verts, cl.v)
+			case SideOn:
+				verts = append(verts, vertex{pt: cl.v.pt, tight: cl.v.tight.with(hid)})
+			}
+		}
+		verts = append(verts, fresh...)
+		out.verts = verts
+		out.facets = filterFacets(c.facets, Constraint{H: h, Sign: conSign}, verts, c.dim)
+		return out
 	}
-	if pos != nil {
-		pos.verts = append(pos.verts, fresh...)
+
+	if nNeg > 0 && wantNeg {
+		neg = build(SideNeg, nNeg, -1)
 	}
-	finish(neg, -1)
-	finish(pos, +1)
+	if nPos > 0 && wantPos {
+		pos = build(SidePos, nPos, +1)
+	}
+	sc.cls, sc.fresh = cls, fresh
+	splitPool.Put(sc)
 	return neg, pos
 }
 
 // filterFacets selects, from the parent's facet candidates plus the new
-// constraint, those with at least one tight vertex in verts.
+// constraint, those with at least one tight vertex in verts. The candidate
+// list is short (facets of a convex cell), so a direct scan over the
+// vertices' sorted tight sets beats building a presence map — and
+// allocates nothing beyond the result.
 func filterFacets(parent []Constraint, newCon Constraint, verts []vertex, dim int) []Constraint {
-	present := make(map[int32]struct{}, 4*len(verts))
-	for _, v := range verts {
-		for _, id := range v.tight {
-			present[id] = struct{}{}
-		}
-	}
 	out := make([]Constraint, 0, len(parent)+1)
 	for _, con := range parent {
-		if _, ok := present[int32(dim+con.H.ID)]; ok {
+		if anyTight(verts, int32(dim+con.H.ID)) {
 			out = append(out, con)
 		}
 	}
-	if _, ok := present[int32(dim+newCon.H.ID)]; ok {
+	if anyTight(verts, int32(dim+newCon.H.ID)) {
 		out = append(out, newCon)
 	}
 	return out
+}
+
+// anyTight reports whether some vertex has id in its tight set.
+func anyTight(verts []vertex, id int32) bool {
+	for i := range verts {
+		if verts[i].tight.has(id) {
+			return true
+		}
+	}
+	return false
 }
 
 // appendVertex adds v to vs, merging tight sets when an existing vertex

@@ -53,12 +53,40 @@ func NewHyperplane(normal vec.Vec, id int) Hyperplane {
 		panic("geom: hyperplane with zero normal")
 	}
 	u := normal.Scale(1 / n)
+	// Tangent norm computed in place (same summation order as
+	// u.TangentPart().Norm()) to avoid the throwaway projection vector.
+	m := u.Mean()
+	var tn float64
+	for _, x := range u {
+		d := x - m
+		tn += d * d
+	}
 	return Hyperplane{
 		Normal:      u,
 		ID:          id,
-		tangentNorm: u.TangentPart().Norm(),
-		offsetMean:  u.Mean(),
+		tangentNorm: math.Sqrt(tn),
+		offsetMean:  m,
 		unit:        u,
+	}
+}
+
+// PackNormals repacks the unit normals of planes into one contiguous flat
+// backing array, stride Dim, in slice order. The planes' geometry is
+// unchanged (values are copied verbatim); only the storage moves, so the
+// relation tests that scan many planes against the same cell walk a single
+// cache-friendly block instead of chasing per-plane allocations. Callers
+// must own the slice: the Hyperplane values are rewritten in place.
+func PackNormals(planes []Hyperplane) {
+	if len(planes) == 0 {
+		return
+	}
+	d := planes[0].Normal.Dim()
+	flat := make([]float64, len(planes)*d)
+	for i := range planes {
+		dst := vec.Vec(flat[i*d : (i+1)*d : (i+1)*d])
+		copy(dst, planes[i].Normal)
+		planes[i].Normal = dst
+		planes[i].unit = dst
 	}
 }
 

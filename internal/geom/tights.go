@@ -76,6 +76,38 @@ func (s tightSet) intersect(t tightSet) tightSet {
 	return out
 }
 
+// intersectWith returns (s ∩ t) ∪ {id} as a new sorted set in a single
+// allocation — the fused form of intersect followed by with, used on the
+// split hot path where the intermediate intersection would be discarded.
+func (s tightSet) intersectWith(t tightSet, id int32) tightSet {
+	out := make(tightSet, 0, min(len(s), len(t))+1)
+	inserted := false
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			x := s[i]
+			if !inserted && id <= x {
+				if id < x {
+					out = append(out, id)
+				}
+				inserted = true
+			}
+			out = append(out, x)
+			i++
+			j++
+		}
+	}
+	if !inserted {
+		out = append(out, id)
+	}
+	return out
+}
+
 // union returns s ∪ t as a new sorted set.
 func (s tightSet) union(t tightSet) tightSet {
 	out := make(tightSet, 0, len(s)+len(t))

@@ -41,13 +41,26 @@ func (v Vec) Clone() Vec {
 func (v Vec) Dim() int { return len(v) }
 
 // Dot returns the inner product v·w. The vectors must have equal dimension.
+//
+// The loop is unrolled four-wide with a single accumulator: the summation
+// order is exactly the sequential one, so results are bit-identical to the
+// naive loop (geometric sign decisions must not depend on the kernel), while
+// the slicing lets the compiler drop the per-element bounds checks.
 func (v Vec) Dot(w Vec) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("vec: dot of mismatched dims %d and %d", len(v), len(w)))
 	}
+	w = w[:len(v)]
 	var s float64
-	for i, x := range v {
-		s += x * w[i]
+	i := 0
+	for ; i+3 < len(v); i += 4 {
+		s += v[i] * w[i]
+		s += v[i+1] * w[i+1]
+		s += v[i+2] * w[i+2]
+		s += v[i+3] * w[i+3]
+	}
+	for ; i < len(v); i++ {
+		s += v[i] * w[i]
 	}
 	return s
 }
@@ -100,11 +113,24 @@ func (v Vec) Lerp(w Vec, t float64) Vec {
 // Norm returns the Euclidean norm ‖v‖₂.
 func (v Vec) Norm() float64 { return math.Sqrt(v.Dot(v)) }
 
-// Dist returns the Euclidean distance ‖v−w‖₂.
+// Dist returns the Euclidean distance ‖v−w‖₂. Unrolled like Dot, with the
+// same strictly sequential summation order.
 func (v Vec) Dist(w Vec) float64 {
+	w = w[:len(v)]
 	var s float64
-	for i, x := range v {
-		dd := x - w[i]
+	i := 0
+	for ; i+3 < len(v); i += 4 {
+		d0 := v[i] - w[i]
+		s += d0 * d0
+		d1 := v[i+1] - w[i+1]
+		s += d1 * d1
+		d2 := v[i+2] - w[i+2]
+		s += d2 * d2
+		d3 := v[i+3] - w[i+3]
+		s += d3 * d3
+	}
+	for ; i < len(v); i++ {
+		dd := v[i] - w[i]
 		s += dd * dd
 	}
 	return math.Sqrt(s)

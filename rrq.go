@@ -227,6 +227,7 @@ type config struct {
 	samples int
 	seed    int64
 	workers int
+	intra   int
 	skyband bool
 	trace   obs.TraceFunc
 	metrics *obs.Registry
@@ -254,8 +255,23 @@ func WithSamples(n int) Option { return func(c *config) { c.samples = n } }
 func WithSeed(s int64) Option { return func(c *config) { c.seed = s } }
 
 // WithWorkers bounds the worker pool of SolveBatch (and Prepared.SolveBatch).
-// n ≤ 0 (the default) uses GOMAXPROCS.
+// n ≤ 0 (the default) uses GOMAXPROCS. This is inter-query parallelism —
+// queries of a batch run concurrently, each solve staying serial inside;
+// see WithIntraQueryWorkers for the orthogonal knob.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithIntraQueryWorkers parallelizes the inside of a single solve: E-PT
+// refines the partition tree's independent subtrees with n workers per
+// plane insertion, and A-PC classifies its utility samples with n workers.
+// n ≤ 1 (the default) keeps every solve serial. The answer is byte-for-byte
+// identical for every n — both solvers decompose into disjoint work whose
+// merge order is fixed — so the knob trades cores for latency only.
+//
+// Use WithWorkers to increase batch throughput when there are many queries,
+// WithIntraQueryWorkers to cut the latency of few large queries; combining
+// both multiplies goroutines (workers × intra), so keep the product near
+// GOMAXPROCS.
+func WithIntraQueryWorkers(n int) Option { return func(c *config) { c.intra = n } }
 
 // WithSkybandPrefilter enables the k-skyband prefilter: solvers run on the
 // cached k-skyband of the dataset instead of the full point set. The
@@ -309,9 +325,9 @@ func solverFor(cfg config, dim int) (core.Solver, error) {
 	case SweepingAlgo:
 		return core.SweepingSolver{}, nil
 	case EPTAlgo:
-		return core.EPTSolver{}, nil
+		return core.EPTSolver{Opt: core.EPTOptions{Workers: cfg.intra}}, nil
 	case APCAlgo:
-		return core.APCSolver{Opt: core.APCOptions{Samples: cfg.samples, Seed: cfg.seed}}, nil
+		return core.APCSolver{Opt: core.APCOptions{Samples: cfg.samples, Seed: cfg.seed, Workers: cfg.intra}}, nil
 	case LPCTAAlgo:
 		return baseline.LPCTASolver{}, nil
 	case BruteForceAlgo:
