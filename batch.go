@@ -21,16 +21,18 @@ import (
 // Prepared can serve Solve and SolveBatch calls from any number of
 // goroutines.
 type Prepared struct {
-	prep   *core.Prepared
-	solver core.Solver
-	cfg    config
-	dim    int
+	prep *core.Prepared
+	pol  core.SolvePolicy
+	cfg  config
+	dim  int
 }
 
 // Prepare validates the dataset once and fixes the solver configuration for
 // subsequent Solve/SolveBatch calls. The same Options as Solve apply;
 // WithSkybandPrefilter additionally makes every query run on the cached
-// k-skyband of its rank parameter.
+// k-skyband of its rank parameter, and the resilience options
+// (WithQueryTimeout, WithWorkBudget, WithFallback) fix the per-query
+// serving policy every solve runs under.
 func Prepare(d *Dataset, opts ...Option) (*Prepared, error) {
 	var cfg config
 	for _, o := range opts {
@@ -40,21 +42,24 @@ func Prepare(d *Dataset, opts ...Option) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := solverFor(cfg, d.Dim())
+	pol, err := policyFor(cfg, d.Dim())
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{prep: prep, solver: s, cfg: cfg, dim: d.Dim()}, nil
+	return &Prepared{prep: prep, pol: pol, cfg: cfg, dim: d.Dim()}, nil
 }
 
 // Solve answers one query against the prepared dataset, returning the full
-// Result. On error the Result still carries the partial Stats and elapsed
-// time of the failed attempt.
+// Result. Every solve is guarded: a solver panic comes back as a per-call
+// *SolveError rather than crashing the process, the per-query timeout and
+// work budget apply, and a degradable failure re-runs the query on the
+// fallback chain (Result.Degraded then records why). On error the Result
+// still carries the partial Stats and elapsed time of the failed attempts.
 func (p *Prepared) Solve(ctx context.Context, q Query) (Result, error) {
 	cq := q.toCore()
 	start := time.Now()
-	r, st, err := p.solver.Solve(p.cfg.obsContext(ctx), p.prep, cq)
-	res := Result{Stats: st, Elapsed: time.Since(start)}
+	r, st, deg, err := p.pol.Solve(p.cfg.obsContext(ctx), p.prep, cq, -1)
+	res := Result{Stats: st, Elapsed: time.Since(start), Degraded: deg}
 	if reg := p.cfg.metrics; reg != nil {
 		reg.Counter("rrq.solves").Inc()
 		if err != nil {
@@ -71,6 +76,9 @@ func (p *Prepared) Solve(ctx context.Context, q Query) (Result, error) {
 // BatchResult is one query's outcome within a batch: the full Result of the
 // solve, or the per-query error. A failed query never affects its
 // neighbours; its Result still reports the partial Stats and elapsed time.
+// A solver panic surfaces as that query's *SolveError (match with
+// errors.As), and a query answered by the fallback chain carries a non-nil
+// Result.Degraded.
 type BatchResult struct {
 	Result
 	Err error
@@ -92,8 +100,9 @@ type BatchReport struct {
 	// Agg sums the Stats counters of the successful queries.
 	Agg Stats
 	// Solved and Failed count the queries that returned a region vs. an
-	// error.
-	Solved, Failed int
+	// error. Degraded counts the subset of Solved whose region came from
+	// the fallback chain (see WithFallback).
+	Solved, Failed, Degraded int
 	// Phases maps solver phase names (e.g. "phase.ept.insert") to timing
 	// histograms covering exactly this batch. Nil unless WithMetrics was
 	// set at Prepare time.
@@ -126,7 +135,7 @@ func (p *Prepared) SolveBatch(ctx context.Context, queries []Query) *BatchReport
 		cqs[i] = q.toCore()
 	}
 	start := time.Now()
-	outs := core.SolveBatch(ctx, p.solver, p.prep, cqs, p.cfg.workers)
+	outs := core.SolveBatchPolicy(ctx, p.pol, p.prep, cqs, p.cfg.workers)
 	rep := &BatchReport{
 		Results: make([]BatchResult, len(outs)),
 		Elapsed: time.Since(start),
@@ -135,11 +144,15 @@ func (p *Prepared) SolveBatch(ctx context.Context, queries []Query) *BatchReport
 		br := BatchResult{Err: o.Err}
 		br.Stats = o.Stats
 		br.Elapsed = o.Elapsed
+		br.Degraded = o.Degraded
 		rep.QueryTime += o.Elapsed
 		if o.Err == nil {
 			br.Region = &Region{inner: o.Region, q: cqs[i]}
 			rep.Solved++
 			rep.Agg.Add(o.Stats)
+			if o.Degraded != nil {
+				rep.Degraded++
+			}
 		} else {
 			rep.Failed++
 		}

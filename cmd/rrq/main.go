@@ -10,6 +10,7 @@
 //	rrq -data cars.csv -q 0.45,0.2 -k 10 -eps 0.1
 //	rrq -data cars.csv -q 0.45,0.2 -k 10 -eps 0.1 -algo apc -samples 200
 //	rrq -data cars.csv -queries "0.45,0.2;0.5,0.3" -k 10 -workers 4 -timeout 30s
+//	rrq -data cars.csv -q 0.45,0.2 -k 10 -query-timeout 50ms -budget 100000 -fallback apc
 package main
 
 import (
@@ -44,6 +45,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size for -queries batches (0 = GOMAXPROCS)")
 		intra    = flag.Int("intra-workers", 0, "workers inside each solve (E-PT subtree / A-PC sample pools; <=1 = serial)")
 		metrics  = flag.Bool("metrics", false, "print solver metrics (phase timers, work counters) after solving")
+		qTimeout = flag.Duration("query-timeout", 0, "per-query wall-clock limit, restarted for each query of a batch (0 = none)")
+		budget   = flag.Int64("budget", 0, "per-query work budget in solver work units (0 = none)")
+		fallback = flag.String("fallback", "", "comma-separated fallback algorithms tried on timeout/budget/numerical failure, e.g. apc,lpcta")
 	)
 	flag.Parse()
 
@@ -75,6 +79,23 @@ func main() {
 	algo, err := parseAlgo(*algoStr)
 	fatal(err)
 
+	var resOpts []rrq.Option
+	if *qTimeout > 0 {
+		resOpts = append(resOpts, rrq.WithQueryTimeout(*qTimeout))
+	}
+	if *budget > 0 {
+		resOpts = append(resOpts, rrq.WithWorkBudget(*budget))
+	}
+	if *fallback != "" {
+		var chain []rrq.Algorithm
+		for _, s := range strings.Split(*fallback, ",") {
+			a, err := parseAlgo(strings.TrimSpace(s))
+			fatal(err)
+			chain = append(chain, a)
+		}
+		resOpts = append(resOpts, rrq.WithFallback(chain...))
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -89,6 +110,7 @@ func main() {
 
 	if *qsStr != "" {
 		opts := []rrq.Option{rrq.WithAlgorithm(algo), rrq.WithWorkers(*workers), rrq.WithIntraQueryWorkers(*intra)}
+		opts = append(opts, resOpts...)
 		if *samples > 0 {
 			opts = append(opts, rrq.WithSamples(*samples))
 		}
@@ -111,11 +133,15 @@ func main() {
 				fmt.Printf("  q%-3d %v  error: %v\n", i, queries[i].Q, res.Err)
 				continue
 			}
-			fmt.Printf("  q%-3d %v  %d partition(s), %.2f%% of the preference space  (%v)\n",
-				i, queries[i].Q, res.Region.NumPartitions(), 100*res.Region.Measure(*measureN), res.Elapsed.Round(time.Microsecond))
+			note := ""
+			if deg := res.Degraded; deg != nil {
+				note = fmt.Sprintf("  [degraded to %s: %v]", deg.Solver, deg.Reason)
+			}
+			fmt.Printf("  q%-3d %v  %d partition(s), %.2f%% of the preference space  (%v)%s\n",
+				i, queries[i].Q, res.Region.NumPartitions(), 100*res.Region.Measure(*measureN), res.Elapsed.Round(time.Microsecond), note)
 		}
-		fmt.Printf("total:   %d solved, %d failed in %v (query time %v)\n",
-			report.Solved, report.Failed, report.Elapsed.Round(time.Microsecond), report.QueryTime.Round(time.Microsecond))
+		fmt.Printf("total:   %d solved (%d degraded), %d failed in %v (query time %v)\n",
+			report.Solved, report.Degraded, report.Failed, report.Elapsed.Round(time.Microsecond), report.QueryTime.Round(time.Microsecond))
 		printMetrics(reg)
 		return
 	}
@@ -137,6 +163,7 @@ func main() {
 	}
 
 	opts := []rrq.Option{rrq.WithAlgorithm(algo), rrq.WithIntraQueryWorkers(*intra)}
+	opts = append(opts, resOpts...)
 	if *samples > 0 {
 		opts = append(opts, rrq.WithSamples(*samples))
 	}
@@ -158,6 +185,10 @@ func main() {
 	fmt.Printf("dataset: %d products (after preprocessing), %d attributes\n", ds.Len(), ds.Dim())
 	fmt.Printf("query:   q=%v  k=%d  eps=%.3f  algo=%v  solved in %v\n",
 		q, *k, *eps, algo, res.Elapsed.Round(time.Microsecond))
+	if deg := res.Degraded; deg != nil {
+		fmt.Printf("note:    degraded to %s after %s failure of the primary (%v)\n",
+			deg.Solver, deg.Reason, deg.Cause)
+	}
 	if region.IsEmpty() {
 		fmt.Println("result:  no prospective customers — q never scores within ε of the top-k")
 		printMetrics(reg)

@@ -18,6 +18,7 @@ import (
 	"context"
 
 	"rrq/internal/core"
+	"rrq/internal/faultinject"
 	"rrq/internal/geom"
 	"rrq/internal/lp"
 	"rrq/internal/obs"
@@ -74,10 +75,12 @@ func LPCTAContext(ctx context.Context, pts []vec.Vec, q core.Query) (*core.Regio
 		return nil, st, err
 	}
 	check := core.NewCtxChecker(ctx, 0x3f)
+	check.SetFaultKey(q.Q)
 	if check.Failed() {
 		return nil, st, check.Err()
 	}
 	planePhase := check.Phase("phase.lpcta.planes")
+	defer planePhase()
 	planes, base, err := queryPlanes(pts, q)
 	planePhase()
 	if err != nil {
@@ -92,12 +95,16 @@ func LPCTAContext(ctx context.Context, pts []vec.Vec, q core.Query) (*core.Regio
 	}
 
 	insertPhase := check.Phase("phase.lpcta.insert")
+	defer insertPhase()
 	root := &ctaNode{}
 	st.NodesCreated++
 	cc := &ctaCtx{k: k, d: d, st: &st, check: check}
 	for _, h := range planes {
 		st.PlanesInserted++
 		ctaInsert(root, h, cc)
+		if cc.err != nil {
+			return nil, st, cc.err
+		}
 		if check.Failed() {
 			return nil, st, check.Err()
 		}
@@ -117,18 +124,21 @@ func LPCTAContext(ctx context.Context, pts []vec.Vec, q core.Query) (*core.Regio
 }
 
 // ctaCtx carries the shared insertion state, including the amortized
-// context checker.
+// context checker. err records a solver-level numerical failure (e.g. an
+// injected LP fault) that must abort the whole solve rather than just
+// invalidate one node.
 type ctaCtx struct {
 	k, d  int
 	st    *core.Stats
 	check *core.CtxChecker
+	err   error
 }
 
 // ctaInsert inserts one hyper-plane top-down, checking relationships by LP.
 // The minimum of u·w over the cell is solved first; the maximum is only
 // needed when the minimum is negative.
 func ctaInsert(n *ctaNode, h geom.Hyperplane, cc *ctaCtx) {
-	if n.invalid || cc.check.Stop() {
+	if n.invalid || cc.err != nil || cc.check.Stop() {
 		return
 	}
 	k, st := cc.k, cc.st
@@ -191,6 +201,12 @@ func ctaRange(n *ctaNode, h geom.Hyperplane, cc *ctaCtx) (lo, hi float64, feasib
 
 func ctaSolve(n *ctaNode, h geom.Hyperplane, cc *ctaCtx, maximize bool) (float64, bool) {
 	d, st := cc.d, cc.st
+	if ferr := cc.check.Fault(faultinject.LPSolve); ferr != nil {
+		// Injected LP failure: a numerical fault the solver cannot recover
+		// from — typed so SolvePolicy can re-run the query on a fallback.
+		cc.err = &core.NumericalError{Solver: "LP-CTA", Err: ferr}
+		return 0, false
+	}
 	st.LPSolves++
 	cc.check.Emit(obs.EvLPSolve, 1)
 	obj := h.Normal

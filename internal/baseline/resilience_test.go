@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rrq/internal/core"
+	"rrq/internal/dataset"
+	"rrq/internal/faultinject"
+	"rrq/internal/obs"
+	"rrq/internal/vec"
+)
+
+// lpctaInstance returns a 2-d instance where LP-CTA does real tree work
+// (enough LP solves to pass the amortized check cadence at least once).
+func lpctaInstance(t *testing.T) ([]vec.Vec, core.Query) {
+	t.Helper()
+	pts := dataset.Generate(dataset.Independent, 300, 2, 13)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 30; i++ {
+		q := core.Query{Q: dataset.RandQuery(rng, pts), K: 10, Eps: 0.2}
+		_, st, err := LPCTAContext(context.Background(), pts, q)
+		if err == nil && st.Pieces > 0 && st.LPSolves > 200 {
+			return pts, q
+		}
+	}
+	t.Fatal("precondition: no query makes LP-CTA work hard enough; pick new seeds")
+	return nil, core.Query{}
+}
+
+// An injected LP failure must surface as a typed *NumericalError, and under
+// a SolvePolicy with a fallback the query must degrade with
+// DegradeNumerical instead of failing.
+func TestLPFaultDegradesNumerical(t *testing.T) {
+	pts, q := lpctaInstance(t)
+	prep, err := core.Prepare(pts, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpBoom := errors.New("injected LP failure")
+	inj := faultinject.New(&faultinject.Fault{
+		Point: faultinject.LPSolve,
+		Err:   lpBoom,
+		Times: 1,
+	})
+	ctx := faultinject.ContextWith(context.Background(), inj)
+
+	// Without a fallback: the typed numerical error surfaces.
+	_, _, err = LPCTASolver{}.Solve(ctx, prep, q)
+	var ne *core.NumericalError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v, want *NumericalError", err)
+	}
+	if ne.Solver != "LP-CTA" || !errors.Is(ne, lpBoom) {
+		t.Fatalf("NumericalError{Solver:%q Err:%v}", ne.Solver, ne.Err)
+	}
+
+	// With a fallback: the same fault degrades to the exact 2-d solver.
+	inj2 := faultinject.New(&faultinject.Fault{Point: faultinject.LPSolve, Err: lpBoom, Times: 1})
+	reg := obs.NewRegistry()
+	ctx2 := obs.ContextWithRegistry(faultinject.ContextWith(context.Background(), inj2), reg)
+	pol := core.SolvePolicy{Solver: LPCTASolver{}, Fallbacks: []core.Solver{core.SweepingSolver{}}}
+	r, _, deg, err := pol.Solve(ctx2, prep, q, -1)
+	if err != nil {
+		t.Fatalf("err = %v, want degraded success", err)
+	}
+	if r == nil || deg == nil {
+		t.Fatal("want a fallback region and a Degradation record")
+	}
+	if deg.Reason != core.DegradeNumerical || deg.Solver != "Sweeping" {
+		t.Fatalf("Degradation{%v, %q}, want {numerical, Sweeping}", deg.Reason, deg.Solver)
+	}
+	if !errors.As(deg.Cause, &ne) {
+		t.Fatalf("degradation cause %v, want *NumericalError", deg.Cause)
+	}
+	if reg.Counters()["solve.degraded.numerical"] != 1 {
+		t.Errorf("solve.degraded.numerical = %d, want 1", reg.Counters()["solve.degraded.numerical"])
+	}
+
+	// Cross-validate: the degraded answer is the exact answer (Sweeping is
+	// exact in 2-d), so degradation here lost nothing but the cost model.
+	want, werr := core.Sweeping(pts, q)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()
+		u := vec.Of(x, 1-x)
+		if r.Contains(u) != want.Contains(u) {
+			t.Fatalf("degraded region disagrees with exact at %v", u)
+		}
+	}
+}
+
+// A real (non-injected) budget degradation across the cost gap the paper
+// measures: LP-CTA burns an LP per relation check and trips a small budget,
+// while the linear-time sweep answers the same query within it.
+func TestBudgetDegradesLPCTAToSweeping(t *testing.T) {
+	pts, q := lpctaInstance(t)
+	prep, err := core.Prepare(pts, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ctx := obs.ContextWithRegistry(context.Background(), reg)
+	pol := core.SolvePolicy{
+		Solver:     LPCTASolver{},
+		Fallbacks:  []core.Solver{core.SweepingSolver{}},
+		WorkBudget: 50, // LP-CTA charges 64 per amortized check; Sweeping ~1
+	}
+	r, _, deg, err := pol.Solve(ctx, prep, q, -1)
+	if err != nil {
+		t.Fatalf("err = %v, want degraded success", err)
+	}
+	if r == nil || deg == nil {
+		t.Fatal("want a fallback region and a Degradation record")
+	}
+	if deg.Reason != core.DegradeBudget || deg.Solver != "Sweeping" {
+		t.Fatalf("Degradation{%v, %q}, want {budget, Sweeping}", deg.Reason, deg.Solver)
+	}
+	var be *core.BudgetError
+	if !errors.As(deg.Cause, &be) {
+		t.Fatalf("degradation cause %v, want *BudgetError", deg.Cause)
+	}
+}
+
+// Mid-phase cancellation of LP-CTA: abort with context.Canceled and close
+// every opened phase timer.
+func TestLPCTACancelMidPhase(t *testing.T) {
+	pts, q := lpctaInstance(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	var once sync.Once
+	ctx = obs.ContextWithTrace(ctx, func(obs.Event) { once.Do(cancel) })
+	reg := obs.NewRegistry()
+	ctx = obs.ContextWithRegistry(ctx, reg)
+
+	_, _, err := LPCTAContext(ctx, pts, q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	timers := reg.Timers()
+	if len(timers) == 0 {
+		t.Fatal("no phase timers recorded")
+	}
+	for name, snap := range timers {
+		if snap.Count == 0 {
+			t.Errorf("phase %s opened but never closed", name)
+		}
+	}
+}

@@ -61,6 +61,7 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 		return nil, st, err
 	}
 	check := NewCtxChecker(ctx, 0xff)
+	check.SetFaultKey(q.Q)
 	if check.Failed() {
 		return nil, st, check.Err()
 	}
@@ -74,6 +75,9 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 	}
 	st.Samples = n
 	classifyPhase := check.Phase("phase.apc.classify")
+	// Abort net: the closer is idempotent, so a cancellation or worker
+	// failure mid-classify still closes the phase exactly once.
+	defer classifyPhase()
 
 	// Sample and keep qualified utility vectors with their D⁻ sets. D⁻ has
 	// fewer than k elements for a qualified sample, so the sets stay tiny

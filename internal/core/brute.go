@@ -29,6 +29,7 @@ func BruteForce2DContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, 
 		return nil, st, err
 	}
 	check := NewCtxChecker(ctx, 0xff)
+	check.SetFaultKey(q.Q)
 	if check.Failed() {
 		return nil, st, check.Err()
 	}
@@ -97,6 +98,7 @@ func BruteForceNDContext(ctx context.Context, pts []vec.Vec, q Query, maxPlanes 
 		return nil, st, err
 	}
 	check := NewCtxChecker(ctx, 0xff)
+	check.SetFaultKey(q.Q)
 	if check.Failed() {
 		return nil, st, check.Err()
 	}

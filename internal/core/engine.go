@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"rrq/internal/faultinject"
 	"rrq/internal/obs"
 	"rrq/internal/skyband"
 	"rrq/internal/vec"
@@ -39,28 +40,66 @@ func MapContextErr(err error) error {
 // potential event (Emit) or phase boundary (Phase) when observability is
 // off.
 type CtxChecker struct {
-	ctx   context.Context
-	mask  uint32
-	n     uint32
-	err   error
-	trace obs.TraceFunc
-	reg   *obs.Registry
+	ctx    context.Context
+	mask   uint32
+	n      uint32
+	err    error
+	trace  obs.TraceFunc
+	reg    *obs.Registry
+	meter  *workMeter
+	faults *faultinject.Injector
+	fkey   []float64
 }
 
 // NewCtxChecker builds a checker that samples ctx every mask+1 Stop calls
 // (mask must be 2^m − 1). A context that can never be canceled
-// (ctx.Done() == nil, e.g. context.Background()) disables checking
-// entirely; an already-expired context trips the checker immediately, so
-// solvers fail fast before doing any work. Any obs trace hook or metrics
-// registry carried by ctx is captured for Emit/Phase.
+// (ctx.Done() == nil, e.g. context.Background()) disables cancellation
+// checking; an already-expired context trips the checker immediately, so
+// solvers fail fast before doing any work. Any obs trace hook, metrics
+// registry, work budget (ContextWithWorkBudget) or fault injector carried
+// by ctx is captured once here, so the hot path pays one nil-check per
+// facility.
 func NewCtxChecker(ctx context.Context, mask uint32) *CtxChecker {
-	c := &CtxChecker{trace: obs.TraceFrom(ctx), reg: obs.RegistryFrom(ctx)}
+	c := &CtxChecker{
+		trace:  obs.TraceFrom(ctx),
+		reg:    obs.RegistryFrom(ctx),
+		meter:  meterFrom(ctx),
+		faults: faultinject.From(ctx),
+		mask:   mask,
+	}
 	if ctx != nil && ctx.Done() != nil {
 		c.ctx = ctx
-		c.mask = mask
 		c.err = ctx.Err()
 	}
 	return c
+}
+
+// SetFaultKey binds the query point used to match scoped faults fired
+// through this checker. A no-op when no injector is armed.
+func (c *CtxChecker) SetFaultKey(key []float64) {
+	if c.faults != nil {
+		c.fkey = key
+	}
+}
+
+// Fault fires the named fault point with the bound query key: a single
+// nil-check when no injector is armed. A panic fault panics from here (the
+// serving layer's recovery turns it into a *SolveError); an error fault's
+// error is returned for the site to apply.
+func (c *CtxChecker) Fault(p faultinject.Point) error {
+	if c.faults == nil {
+		return nil
+	}
+	return c.faults.Fire(p, c.fkey)
+}
+
+// fail poisons the checker with err: every subsequent Stop reports true and
+// Err returns err. Used by fault sites that cannot propagate an error
+// directly and by worker pools converting a recovered panic into an abort.
+func (c *CtxChecker) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
 }
 
 // Emit delivers one trace event when tracing is on; otherwise it is a
@@ -82,25 +121,51 @@ var nopPhase = func() {}
 // Phase starts a named phase timer and returns its closer. With no
 // registry attached the call is a nil-check returning a shared no-op, so
 // instrumented solvers cost nothing when metrics are off.
+//
+// The closer is idempotent: solvers close each phase at its natural end
+// AND defer the closer as an abort net, so a query canceled (or failed)
+// mid-phase still records exactly one observation per opened phase — no
+// dangling open phases in traces.
 func (c *CtxChecker) Phase(name string) func() {
 	if c.reg == nil {
 		return nopPhase
 	}
 	t := c.reg.Timer(name)
 	start := time.Now()
-	return func() { t.Observe(time.Since(start)) }
+	closed := false
+	return func() {
+		if closed {
+			return
+		}
+		closed = true
+		t.Observe(time.Since(start))
+	}
 }
 
-// Stop counts one unit of work and reports whether the solve should abort.
+// Stop counts one unit of work and reports whether the solve should abort:
+// on cancellation, a passed deadline, an exhausted work budget, or an
+// earlier poisoning. Cancellation and budget are both evaluated on the
+// amortized cadence (every mask+1 calls), so a single Stop stays a counter
+// increment plus a few nil-checks.
 func (c *CtxChecker) Stop() bool {
 	if c.err != nil {
 		return true
 	}
-	if c.ctx == nil {
+	if c.ctx == nil && c.meter == nil {
 		return false
 	}
 	if c.n++; c.n&c.mask == 0 {
-		c.err = c.ctx.Err()
+		if c.ctx != nil {
+			c.err = c.ctx.Err()
+		}
+		if c.err == nil && c.meter != nil {
+			chunk := int64(c.mask) + 1
+			if ferr := c.Fault(faultinject.BudgetCheck); ferr != nil {
+				c.err = ferr
+			} else if c.meter.charge(chunk) {
+				c.err = &BudgetError{Limit: c.meter.limit, Spent: c.meter.used.Load()}
+			}
+		}
 	}
 	return c.err != nil
 }
@@ -150,18 +215,24 @@ type Prepared struct {
 	bands map[int][]vec.Vec
 }
 
-// Prepare validates pts against dim once and returns the reusable
-// preprocessing handle. When skybandPrefilter is set, PointsFor(k) serves
-// the cached k-skyband instead of the full point set — sound for reverse
-// regret queries because a point dominated by ≥ k others can only count
-// against q on preferences where its dominators already do.
+// Prepare validates pts against dim once — dimension, finiteness and the
+// (0,1] positivity domain, so NaN/Inf and non-positive values are rejected
+// with a typed *DataError instead of flowing silently into the geometry
+// kernels — and returns the reusable preprocessing handle. When
+// skybandPrefilter is set, PointsFor(k) serves the cached k-skyband instead
+// of the full point set — sound for reverse regret queries because a point
+// dominated by ≥ k others can only count against q on preferences where
+// its dominators already do.
 func Prepare(pts []vec.Vec, dim int, skybandPrefilter bool) (*Prepared, error) {
 	if dim < 2 {
 		return nil, fmt.Errorf("core: dimension %d < 2", dim)
 	}
 	for i, p := range pts {
 		if p.Dim() != dim {
-			return nil, fmt.Errorf("core: point %d has dimension %d, want %d", i, p.Dim(), dim)
+			return nil, dataErrf(i, -1, "dimension %d, want %d", p.Dim(), dim)
+		}
+		if de := validatePoint(i, p); de != nil {
+			return nil, de
 		}
 	}
 	return &Prepared{pts: pts, dim: dim, skyband: skybandPrefilter}, nil
@@ -262,21 +333,35 @@ func (s BruteForceSolver) Solve(ctx context.Context, prep *Prepared, q Query) (*
 
 // BatchOutcome is one query's result within a batch: the answer, the work
 // counters and wall time, or the per-query error (other queries are
-// unaffected).
+// unaffected). A recovered panic surfaces as a per-query *SolveError in
+// Err. Degraded is non-nil when the answer came from a fallback solver
+// under a SolvePolicy.
 type BatchOutcome struct {
-	Region  *Region
-	Stats   Stats
-	Elapsed time.Duration
-	Err     error
+	Region   *Region
+	Stats    Stats
+	Elapsed  time.Duration
+	Err      error
+	Degraded *Degradation
 }
 
 // SolveBatch answers queries over one shared Prepared with a bounded
-// worker pool. Results are returned in query order regardless of worker
-// count and scheduling; errors are isolated per query. When ctx is
-// canceled mid-batch, queries not yet started report ctx.Err() (e.g.
-// context.Canceled) while in-flight solves abort at their next amortized
-// check. workers ≤ 0 uses GOMAXPROCS.
+// worker pool — SolveBatchPolicy with a bare policy (no fallbacks, no
+// per-query limits). Panic isolation still applies: a solver panic
+// surfaces as that query's *SolveError.
 func SolveBatch(ctx context.Context, s Solver, prep *Prepared, queries []Query, workers int) []BatchOutcome {
+	return SolveBatchPolicy(ctx, SolvePolicy{Solver: s}, prep, queries, workers)
+}
+
+// SolveBatchPolicy answers queries over one shared Prepared with a bounded
+// worker pool, each query guarded by the policy: panics are isolated into
+// per-query *SolveError values, per-query timeouts and work budgets are
+// applied per attempt, and degradable failures re-run on the fallback
+// chain (the outcome's Degraded then records why and by whom). Results are
+// returned in query order regardless of worker count and scheduling;
+// errors are isolated per query. When ctx is canceled mid-batch, queries
+// not yet started report ctx.Err() (e.g. context.Canceled) while in-flight
+// solves abort at their next amortized check. workers ≤ 0 uses GOMAXPROCS.
+func SolveBatchPolicy(ctx context.Context, pol SolvePolicy, prep *Prepared, queries []Query, workers int) []BatchOutcome {
 	out := make([]BatchOutcome, len(queries))
 	if len(queries) == 0 {
 		return out
@@ -295,7 +380,7 @@ func SolveBatch(ctx context.Context, s Solver, prep *Prepared, queries []Query, 
 			return
 		}
 		start := time.Now()
-		out[i].Region, out[i].Stats, out[i].Err = s.Solve(ctx, prep, queries[i])
+		out[i].Region, out[i].Stats, out[i].Degraded, out[i].Err = pol.Solve(ctx, prep, queries[i], i)
 		out[i].Elapsed = time.Since(start)
 	}
 	if workers == 1 {

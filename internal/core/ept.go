@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"rrq/internal/faultinject"
 	"rrq/internal/geom"
 	"rrq/internal/obs"
 	"rrq/internal/skyband"
@@ -74,10 +75,12 @@ func EPTContext(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions) (*R
 		return nil, st, err
 	}
 	check := NewCtxChecker(ctx, 0xfff)
+	check.SetFaultKey(q.Q)
 	if check.Failed() {
 		return nil, st, check.Err()
 	}
 	planePhase := check.Phase("phase.ept.planes")
+	defer planePhase()
 	ps := buildPlanes(pts, q)
 	st.PlanesBuilt = len(ps.crossing)
 	check.Emit(obs.EvPlaneBuilt, st.PlanesBuilt)
@@ -101,15 +104,15 @@ func EPTContext(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions) (*R
 	planePhase()
 
 	insertPhase := check.Phase("phase.ept.insert")
+	defer insertPhase()
 	t := &eptTree{k: k, eager: opt.NoLazySplit}
 	t.root = &eptNode{cell: geom.NewSimplex(d)}
 	st.NodesCreated++
 	if opt.Workers > 1 {
-		pool := newEPTPool(ctx, t, opt.Workers)
+		pool := newEPTPool(ctx, t, opt.Workers, q.Q)
 		err := pool.run(planes, check)
 		pool.drain(&st, check)
 		if err != nil {
-			insertPhase()
 			return nil, st, err
 		}
 	} else {
@@ -117,7 +120,6 @@ func EPTContext(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions) (*R
 		for _, h := range planes {
 			e.insert(t.root, h)
 			if check.Failed() {
-				insertPhase()
 				return nil, st, check.Err()
 			}
 		}
@@ -323,6 +325,13 @@ func (e *eptCtx) lazySplit(n *eptNode) {
 		if len(n.lazy) == 0 {
 			// q ≥ k without pending planes: disqualified outright.
 			n.invalid = true
+			return
+		}
+		if err := e.check.Fault(faultinject.EPTSplit); err != nil {
+			// An error fault at a site with no error return: poison the
+			// checker so the solve aborts with it (panic faults unwind from
+			// Fault itself and are recovered at the serving layer).
+			e.check.fail(err)
 			return
 		}
 		h := n.lazy[0]

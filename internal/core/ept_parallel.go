@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"runtime/debug"
 	"sync"
 
 	"rrq/internal/geom"
@@ -42,7 +43,7 @@ type eptPool struct {
 	ctxs    []*eptCtx
 }
 
-func newEPTPool(ctx context.Context, t *eptTree, workers int) *eptPool {
+func newEPTPool(ctx context.Context, t *eptTree, workers int, faultKey []float64) *eptPool {
 	p := &eptPool{
 		tree:  t,
 		tasks: make(chan eptTask, workers*64),
@@ -50,17 +51,34 @@ func newEPTPool(ctx context.Context, t *eptTree, workers int) *eptPool {
 	}
 	for w := range p.ctxs {
 		e := &eptCtx{t: t, stats: new(Stats), check: NewCtxChecker(ctx, 0xfff), pool: p}
+		e.check.SetFaultKey(faultKey)
 		p.ctxs[w] = e
 		p.done.Add(1)
 		go func(e *eptCtx) {
 			defer p.done.Done()
 			for task := range p.tasks {
-				e.insert(task.n, task.h)
-				p.pending.Done()
+				e.runTask(task)
 			}
 		}(e)
 	}
 	return p
+}
+
+// runTask executes one pool task with panic isolation: a panic anywhere in
+// the subtree insertion (a geometry-kernel bug, an injected fault) is
+// recovered into a typed *SolveError that poisons this worker's checker —
+// the worker then drains its remaining tasks cheaply (insert returns at the
+// first Stop) and run surfaces the error at the next plane barrier. The
+// pending counter is decremented on every exit path, so the barrier never
+// deadlocks on a panicked task.
+func (e *eptCtx) runTask(task eptTask) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			e.check.fail(&SolveError{Solver: "E-PT", QueryIndex: -1, Panic: rec, Stack: debug.Stack()})
+		}
+		e.pool.pending.Done()
+	}()
+	e.insert(task.n, task.h)
 }
 
 // run inserts the planes in order. Within one plane the crossing subtrees
@@ -95,8 +113,11 @@ func (p *eptPool) spawn(n *eptNode, h geom.Hyperplane, from *eptCtx) {
 	select {
 	case p.tasks <- eptTask{n, h}:
 	default:
+		// Balance the counter even if the inline insertion panics (the
+		// panic keeps unwinding into the worker's runTask recovery); a lost
+		// Done would deadlock the plane barrier.
+		defer p.pending.Done()
 		from.insert(n, h)
-		p.pending.Done()
 	}
 }
 

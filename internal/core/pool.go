@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -10,7 +11,9 @@ import (
 // pulling indices from a shared atomic cursor. Each worker owns a private
 // CtxChecker (the checker is not concurrency-safe) that samples ctx every
 // mask+1 iterations; on cancellation the worker stops pulling and the first
-// error observed (in worker order) is returned after all workers exit.
+// error observed (in worker order) is returned after all workers exit. A
+// panic inside body is recovered into a typed *SolveError and returned the
+// same way — one poisoned index stops its worker but never the process.
 // Callers must ensure body(i) touches only state private to index i — the
 // helper provides no ordering between bodies beyond the final barrier.
 func parallelFor(ctx context.Context, workers, n int, mask uint32, body func(i int)) error {
@@ -24,6 +27,11 @@ func parallelFor(ctx context.Context, workers, n int, mask uint32, body func(i i
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					werrs[w] = &SolveError{QueryIndex: -1, Panic: rec, Stack: debug.Stack()}
+				}
+			}()
 			wc := NewCtxChecker(ctx, mask)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1

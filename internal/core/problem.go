@@ -44,6 +44,44 @@ func queryErrf(field, format string, args ...any) *QueryError {
 	return &QueryError{Field: field, Msg: fmt.Sprintf(format, args...)}
 }
 
+// DataError is the typed validation error for a malformed dataset point:
+// NaN/Inf or non-positive attribute values (the paper assumes the domain
+// (0,1]; run Normalize first for raw data), or a dimension mismatch.
+// Point is the offending point's index, Attr the offending attribute
+// (−1 for a dimension mismatch).
+type DataError struct {
+	Point int
+	Attr  int
+	Msg   string
+}
+
+func (e *DataError) Error() string {
+	if e.Attr >= 0 {
+		return fmt.Sprintf("core: invalid data point %d attribute %d: %s", e.Point, e.Attr, e.Msg)
+	}
+	return fmt.Sprintf("core: invalid data point %d: %s", e.Point, e.Msg)
+}
+
+func dataErrf(point, attr int, format string, args ...any) *DataError {
+	return &DataError{Point: point, Attr: attr, Msg: fmt.Sprintf(format, args...)}
+}
+
+// validatePoint checks one dataset point against the solver domain: finite
+// and strictly positive attributes. Non-finite values silently corrupt the
+// geometry kernels (every half-space test on them is poisoned), and
+// non-positive values fall outside the paper's (0,1] attribute domain.
+func validatePoint(i int, p vec.Vec) *DataError {
+	for j, x := range p {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return dataErrf(i, j, "value is %v", x)
+		}
+		if x <= 0 {
+			return dataErrf(i, j, "value %v is not positive (attributes live in (0,1]; normalize raw data first)", x)
+		}
+	}
+	return nil
+}
+
 // Validate checks the query against the dataset dimension d: the query
 // point must be d-dimensional (d ≥ 2) and finite, k ≥ 1 and ε ∈ [0,1).
 // The single validation authority for every entry point — solvers, the
@@ -69,6 +107,9 @@ func (q Query) validate(d int) *QueryError {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
 			return queryErrf("q", "query coordinate %d is %v", i, x)
 		}
+		if x <= 0 {
+			return queryErrf("q", "query coordinate %d is %v, want > 0 (attributes live in (0,1])", i, x)
+		}
 	}
 	if q.K < 1 {
 		return queryErrf("k", "k = %d < 1", q.K)
@@ -80,16 +121,21 @@ func (q Query) validate(d int) *QueryError {
 }
 
 // ValidateInstance checks the query and every point against the query's
-// own dimension — the shared entry gate of the direct solver functions
-// (the Prepared path validates points once at Prepare time instead).
+// own dimension and the solver domain (finite, strictly positive
+// attributes) — the shared entry gate of the direct solver functions (the
+// Prepared path validates points once at Prepare time instead). A bad
+// query is a *QueryError, a bad point a *DataError.
 func ValidateInstance(pts []vec.Vec, q Query) error {
 	d := q.Q.Dim()
 	if err := q.Validate(d); err != nil {
 		return err
 	}
-	for _, p := range pts {
+	for i, p := range pts {
 		if p.Dim() != d {
 			return errDimMismatch(d, p.Dim())
+		}
+		if de := validatePoint(i, p); de != nil {
+			return de
 		}
 	}
 	return nil

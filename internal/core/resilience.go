@@ -1,0 +1,270 @@
+package core
+
+// Resilient serving: panic isolation, per-query budgets and graceful
+// degradation. SolvePolicy is the serving-layer contract — a primary solver
+// plus an ordered fallback chain, a per-query wall-clock timeout and a
+// work-unit budget — and SolvePolicy.Solve is the guarded entry every
+// batch query runs through: panics become typed *SolveError values,
+// timeouts and budget exhaustion re-run the query on the fallback chain
+// (the paper's own degradation ladder: A-PC is a bounded-error
+// approximation of E-PT, §5.2 vs §5.1), and a degraded answer is marked
+// with a typed reason instead of surfacing an error.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"rrq/internal/faultinject"
+	"rrq/internal/obs"
+)
+
+// SolveError is the typed wrapper for a panic recovered from a solver or
+// one of its worker goroutines: which solver, which query of the batch
+// (−1 outside a batch), the panic value and the goroutine stack. One
+// poisoned query surfaces as a per-query *SolveError; it never takes down
+// the batch or the process.
+type SolveError struct {
+	Solver     string
+	QueryIndex int
+	Panic      any
+	Stack      []byte
+}
+
+func (e *SolveError) Error() string {
+	if e.QueryIndex >= 0 {
+		return fmt.Sprintf("core: solver %s panicked on query %d: %v", e.Solver, e.QueryIndex, e.Panic)
+	}
+	return fmt.Sprintf("core: solver %s panicked: %v", e.Solver, e.Panic)
+}
+
+// BudgetError reports that a solve exceeded its work budget (see
+// ContextWithWorkBudget). Limit is the budget in work units; Spent is the
+// amortized count at which the overrun was detected (0 when the error was
+// injected rather than measured).
+type BudgetError struct {
+	Limit int64
+	Spent int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("core: work budget exceeded (limit %d, spent ≥ %d)", e.Limit, e.Spent)
+}
+
+// workMeter is the shared work-budget account of one solve attempt. Every
+// CtxChecker built under the attempt's context charges it in amortized
+// chunks, so the budget bounds the attempt's total work across all its
+// workers, not per goroutine.
+type workMeter struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// charge adds n work units and reports whether the budget is now exceeded.
+func (m *workMeter) charge(n int64) bool {
+	return m.used.Add(n) > m.limit
+}
+
+// meterKey is the private context key carrying the work meter.
+type meterKey struct{}
+
+// ContextWithWorkBudget returns a context whose solves abort with a
+// *BudgetError after roughly limit work units — the same units the
+// amortized cancellation checks count: partition-tree node visits, LP
+// relation tests, sample scans. The bound is amortized (checked every
+// mask+1 units per worker), so overruns are detected within one check
+// interval. limit ≤ 0 returns ctx unchanged.
+func ContextWithWorkBudget(ctx context.Context, limit int64) context.Context {
+	if limit <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, meterKey{}, &workMeter{limit: limit})
+}
+
+// meterFrom extracts the work meter from ctx, or nil.
+func meterFrom(ctx context.Context) *workMeter {
+	if ctx == nil {
+		return nil
+	}
+	m, _ := ctx.Value(meterKey{}).(*workMeter)
+	return m
+}
+
+// DegradeReason classifies why a query was answered by a fallback solver
+// instead of the primary.
+type DegradeReason int
+
+const (
+	// DegradeTimeout: the primary exceeded the per-query timeout.
+	DegradeTimeout DegradeReason = iota + 1
+	// DegradeBudget: the primary exhausted its work budget.
+	DegradeBudget
+	// DegradeNumerical: the primary failed numerically (LP failure,
+	// degenerate geometry) or with another retryable solver error.
+	DegradeNumerical
+)
+
+func (r DegradeReason) String() string {
+	switch r {
+	case DegradeTimeout:
+		return "timeout"
+	case DegradeBudget:
+		return "budget"
+	case DegradeNumerical:
+		return "numerical"
+	default:
+		return fmt.Sprintf("DegradeReason(%d)", int(r))
+	}
+}
+
+// Degradation records that an answer came from the fallback chain: why the
+// primary failed (Reason, Cause) and which solver produced the returned
+// region.
+type Degradation struct {
+	Reason DegradeReason
+	Solver string // name of the fallback solver that answered
+	Cause  error  // the primary solver's failure
+}
+
+// NumericalError is the typed wrapper for a numerical failure inside a
+// solver — an LP that did not reach optimality, or degenerate geometry the
+// solver cannot recover from. It is fallback-eligible under SolvePolicy.
+type NumericalError struct {
+	Solver string
+	Err    error
+}
+
+func (e *NumericalError) Error() string {
+	return fmt.Sprintf("core: %s numerical failure: %v", e.Solver, e.Err)
+}
+
+func (e *NumericalError) Unwrap() error { return e.Err }
+
+// SolvePolicy bundles a primary solver with its resilience contract: an
+// ordered fallback chain tried on timeout / budget exhaustion / numerical
+// failure, a per-query wall-clock timeout and a per-attempt work budget
+// (both also applied to each fallback attempt, freshly).
+//
+// Panics are isolated but never retried: a panic suggests an input the
+// solver mishandles, and the serving layer's job is to report it as a
+// typed *SolveError, not to paper over it. Validation errors
+// (*QueryError) and parent-context cancellation are likewise never
+// retried — the fallback would fail identically, or the caller is gone.
+type SolvePolicy struct {
+	Solver       Solver
+	Fallbacks    []Solver
+	QueryTimeout time.Duration // ≤ 0: no per-query timeout
+	WorkBudget   int64         // ≤ 0: no work budget
+}
+
+// degradable reports whether err warrants a fallback attempt, and the
+// reason it maps to.
+func degradable(err error) (DegradeReason, bool) {
+	var qe *QueryError
+	var se *SolveError
+	switch {
+	case err == nil, errors.As(err, &qe), errors.As(err, &se):
+		return 0, false
+	case errors.Is(err, context.Canceled):
+		return 0, false
+	case errors.Is(err, ErrDeadline):
+		return DegradeTimeout, true
+	}
+	var be *BudgetError
+	if errors.As(err, &be) {
+		return DegradeBudget, true
+	}
+	return DegradeNumerical, true
+}
+
+// Solve runs one query under the policy: the primary attempt first, then —
+// on a degradable failure — each fallback in order, every attempt guarded
+// against panics and given a fresh timeout and budget. queryIndex tags
+// panic errors with the query's position in its batch (−1 standalone).
+//
+// Stats accumulate over every attempt (failed ones included), so the
+// work counters — and their trace-event parity — account for everything
+// the query actually cost. On success deg is nil for a primary answer and
+// describes the degradation for a fallback answer. Counters on any
+// metrics registry riding ctx record the failure modes: "solve.panics",
+// "solve.degraded" (plus per-reason "solve.degraded.<reason>") and
+// "solve.fallback_exhausted".
+func (pol SolvePolicy) Solve(ctx context.Context, prep *Prepared, q Query, queryIndex int) (r *Region, st Stats, deg *Degradation, err error) {
+	reg := obs.RegistryFrom(ctx)
+	r, st, err = solveAttempt(ctx, pol, pol.Solver, prep, q, queryIndex, reg)
+	if err == nil {
+		return r, st, nil, nil
+	}
+	reason, ok := degradable(err)
+	if !ok || len(pol.Fallbacks) == 0 || ctx.Err() != nil {
+		return nil, st, nil, err
+	}
+	cause := err
+	for _, fb := range pol.Fallbacks {
+		fr, fst, ferr := solveAttempt(ctx, pol, fb, prep, q, queryIndex, reg)
+		st.Add(fst)
+		if ferr == nil {
+			if reg != nil {
+				reg.Counter("solve.degraded").Inc()
+				reg.Counter("solve.degraded." + reason.String()).Inc()
+			}
+			return fr, st, &Degradation{Reason: reason, Solver: fb.Name(), Cause: cause}, nil
+		}
+		if ctx.Err() != nil {
+			// The caller is gone; stop burning the chain.
+			return nil, st, nil, MapContextErr(ctx.Err())
+		}
+		if _, ok := degradable(ferr); !ok {
+			// A panic or validation error in the fallback is its own news.
+			return nil, st, nil, ferr
+		}
+	}
+	if reg != nil {
+		reg.Counter("solve.fallback_exhausted").Inc()
+	}
+	return nil, st, nil, cause
+}
+
+// solveAttempt runs one guarded attempt of s: a fresh per-query timeout and
+// work budget are layered onto ctx, the SolveStart fault point fires, and a
+// panic anywhere under Solve — including the solver's own worker pools,
+// which recover locally and return the panic as an error — is converted to
+// a typed *SolveError.
+func solveAttempt(ctx context.Context, pol SolvePolicy, s Solver, prep *Prepared, q Query, queryIndex int, reg *obs.Registry) (r *Region, st Stats, err error) {
+	actx := ctx
+	if pol.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(actx, pol.QueryTimeout)
+		defer cancel()
+	}
+	actx = ContextWithWorkBudget(actx, pol.WorkBudget)
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &SolveError{Solver: s.Name(), QueryIndex: queryIndex, Panic: rec, Stack: debug.Stack()}
+		}
+		var se *SolveError
+		if errors.As(err, &se) {
+			// Pool-recovered panics arrive without batch position (and the
+			// shared helpers without a solver name); fill them in here.
+			if se.QueryIndex < 0 {
+				se.QueryIndex = queryIndex
+			}
+			if se.Solver == "" {
+				se.Solver = s.Name()
+			}
+			if reg != nil {
+				reg.Counter("solve.panics").Inc()
+			}
+		}
+	}()
+	if fi := faultinject.From(actx); fi != nil {
+		if ferr := fi.Fire(faultinject.SolveStart, q.Q); ferr != nil {
+			return nil, st, ferr
+		}
+	}
+	r, st, err = s.Solve(actx, prep, q)
+	return r, st, err
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"rrq/internal/dataset"
+	"rrq/internal/faultinject"
+	"rrq/internal/obs"
+	"rrq/internal/vec"
+)
+
+// TestBatchFaultAcceptance is the acceptance scenario of the resilience
+// layer: a batch of 100 queries over one shared Prepared, where one query
+// panics inside an E-PT split and one exhausts its work budget. The batch
+// must complete with 98 exact results, the panicked query reporting a
+// per-query *SolveError (solver, batch position, stack), the
+// budget-exhausted query a Degraded answer from the A-PC fallback — with
+// the panic and degradation counters visible on the metrics registry.
+func TestBatchFaultAcceptance(t *testing.T) {
+	pts := dataset.Generate(dataset.Independent, 80, 3, 7)
+	prep, err := Prepare(pts, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	queries := make([]Query, 100)
+	for i := range queries {
+		queries[i] = Query{Q: dataset.RandQuery(rng, pts), K: 4, Eps: 0.1}
+	}
+
+	// The panic is injected at the EPTSplit point, so the panicking query
+	// must be one that actually reaches a split; scan for the first such
+	// query (deterministic for fixed seeds).
+	panicIdx := -1
+	for i, q := range queries {
+		if _, st, err := EPTContext(context.Background(), pts, q, EPTOptions{}); err == nil && st.Splits > 0 {
+			panicIdx = i
+			break
+		}
+	}
+	if panicIdx < 0 {
+		t.Fatal("precondition: no query splits; pick new seeds")
+	}
+	budgetIdx := 42
+	if panicIdx == budgetIdx {
+		budgetIdx = 43
+	}
+
+	inj := faultinject.New(
+		&faultinject.Fault{
+			Point:  faultinject.EPTSplit,
+			Match:  faultinject.MatchPoint(queries[panicIdx].Q),
+			Panics: "injected split panic",
+		},
+		&faultinject.Fault{
+			Point: faultinject.SolveStart,
+			Match: faultinject.MatchPoint(queries[budgetIdx].Q),
+			Err:   &BudgetError{Limit: 1, Spent: 1},
+			Times: 1, // fire on the primary attempt only, not the fallback
+		},
+	)
+	reg := obs.NewRegistry()
+	ctx := obs.ContextWithRegistry(faultinject.ContextWith(context.Background(), inj), reg)
+
+	pol := SolvePolicy{
+		Solver:    EPTSolver{},
+		Fallbacks: []Solver{APCSolver{Opt: APCOptions{Seed: 1}}},
+	}
+	outs := SolveBatchPolicy(ctx, pol, prep, queries, 8)
+	if len(outs) != len(queries) {
+		t.Fatalf("%d outcomes for %d queries", len(outs), len(queries))
+	}
+
+	exact := 0
+	for i, o := range outs {
+		switch i {
+		case panicIdx:
+			var se *SolveError
+			if !errors.As(o.Err, &se) {
+				t.Fatalf("query %d: err = %v, want *SolveError", i, o.Err)
+			}
+			if se.Solver != "E-PT" || se.QueryIndex != panicIdx || len(se.Stack) == 0 {
+				t.Fatalf("query %d: SolveError{Solver:%q QueryIndex:%d stack:%dB}", i, se.Solver, se.QueryIndex, len(se.Stack))
+			}
+			if se.Panic != "injected split panic" {
+				t.Fatalf("query %d: panic value %v", i, se.Panic)
+			}
+			if o.Region != nil || o.Degraded != nil {
+				t.Fatalf("query %d: panicked query must not carry a region or degradation", i)
+			}
+		case budgetIdx:
+			if o.Err != nil {
+				t.Fatalf("query %d: err = %v, want degraded success", i, o.Err)
+			}
+			if o.Region == nil || o.Degraded == nil {
+				t.Fatalf("query %d: want a region from the fallback and a Degradation record", i)
+			}
+			if o.Degraded.Reason != DegradeBudget || o.Degraded.Solver != "A-PC" {
+				t.Fatalf("query %d: Degradation{%v, %q}, want {budget, A-PC}", i, o.Degraded.Reason, o.Degraded.Solver)
+			}
+			var be *BudgetError
+			if !errors.As(o.Degraded.Cause, &be) {
+				t.Fatalf("query %d: degradation cause %v, want *BudgetError", i, o.Degraded.Cause)
+			}
+		default:
+			if o.Err != nil {
+				t.Fatalf("query %d: unexpected error %v", i, o.Err)
+			}
+			if o.Degraded != nil {
+				t.Fatalf("query %d: unexpected degradation %+v", i, o.Degraded)
+			}
+			if o.Region == nil {
+				t.Fatalf("query %d: nil region", i)
+			}
+			exact++
+		}
+	}
+	if exact != 98 {
+		t.Fatalf("%d exact results, want 98", exact)
+	}
+	counters := reg.Counters()
+	if counters["solve.panics"] != 1 {
+		t.Errorf("solve.panics = %d, want 1", counters["solve.panics"])
+	}
+	if counters["solve.degraded"] != 1 {
+		t.Errorf("solve.degraded = %d, want 1", counters["solve.degraded"])
+	}
+	if counters["solve.degraded.budget"] != 1 {
+		t.Errorf("solve.degraded.budget = %d, want 1", counters["solve.degraded.budget"])
+	}
+}
+
+// heavyInstance returns a 4-d instance whose E-PT solve creates tens of
+// thousands of tree nodes — enough work that the amortized budget and
+// cancellation checks (every 4096 node visits) are guaranteed to fire.
+func heavyInstance(t *testing.T) ([]vec.Vec, Query) {
+	t.Helper()
+	pts := dataset.Generate(dataset.Independent, 2000, 4, 11)
+	q := Query{Q: dataset.RandQuery(rand.New(rand.NewSource(5)), pts), K: 20, Eps: 0.2}
+	if _, st, err := EPTContext(context.Background(), pts, q, EPTOptions{}); err != nil || st.NodesCreated < 5000 || st.Pieces == 0 {
+		t.Fatalf("precondition: instance too light (nodes=%d pieces=%d err=%v); pick new seeds", st.NodesCreated, st.Pieces, err)
+	}
+	return pts, q
+}
+
+// A real (non-injected) work budget: E-PT on a heavy instance burns tens of
+// thousands of node visits, so a tiny budget must trip the amortized check
+// and surface a typed *BudgetError.
+func TestWorkBudgetExceeded(t *testing.T) {
+	pts, q := heavyInstance(t)
+	prep, err := Prepare(pts, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := SolvePolicy{Solver: EPTSolver{}, WorkBudget: 10}
+	_, _, deg, err := pol.Solve(context.Background(), prep, q, -1)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if be.Limit != 10 || be.Spent < be.Limit {
+		t.Fatalf("BudgetError{Limit:%d Spent:%d}", be.Limit, be.Spent)
+	}
+	if deg != nil {
+		t.Fatalf("no fallback configured, yet Degraded = %+v", deg)
+	}
+
+	// The budget is shared across intra-query workers: the parallel solver
+	// must trip it just the same.
+	pol.Solver = EPTSolver{Opt: EPTOptions{Workers: 4}}
+	_, _, _, err = pol.Solve(context.Background(), prep, q, -1)
+	if !errors.As(err, &be) {
+		t.Fatalf("parallel err = %v, want *BudgetError", err)
+	}
+}
+
+// A per-query timeout on a delayed solve must degrade to the fallback with
+// DegradeTimeout, the fallback running under a fresh timeout.
+func TestQueryTimeoutDegradation(t *testing.T) {
+	pts := dataset.Generate(dataset.Independent, 60, 3, 3)
+	prep, err := Prepare(pts, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Q: dataset.RandQuery(rand.New(rand.NewSource(4)), pts), K: 3, Eps: 0.1}
+	inj := faultinject.New(&faultinject.Fault{
+		Point: faultinject.SolveStart,
+		Delay: 200 * time.Millisecond,
+		Times: 1, // stall the primary attempt only
+	})
+	ctx := faultinject.ContextWith(context.Background(), inj)
+	pol := SolvePolicy{
+		Solver:       EPTSolver{},
+		Fallbacks:    []Solver{APCSolver{Opt: APCOptions{Seed: 1}}},
+		QueryTimeout: 30 * time.Millisecond,
+	}
+	r, _, deg, err := pol.Solve(ctx, prep, q, -1)
+	if err != nil {
+		t.Fatalf("err = %v, want degraded success", err)
+	}
+	if r == nil || deg == nil {
+		t.Fatal("want a fallback region and a Degradation record")
+	}
+	if deg.Reason != DegradeTimeout || deg.Solver != "A-PC" {
+		t.Fatalf("Degradation{%v, %q}, want {timeout, A-PC}", deg.Reason, deg.Solver)
+	}
+	if !errors.Is(deg.Cause, ErrDeadline) {
+		t.Fatalf("degradation cause %v, want ErrDeadline", deg.Cause)
+	}
+}
+
+// A panic on a parallel E-PT worker must be contained: the solve returns a
+// typed *SolveError (no deadlock on the plane barrier, no crashed process),
+// and the pool's sibling workers exit cleanly.
+func TestParallelEPTPanicContained(t *testing.T) {
+	pts := dataset.Generate(dataset.Anticorrelated, 400, 3, 9)
+	prep, err := Prepare(pts, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Q: dataset.RandQuery(rand.New(rand.NewSource(6)), pts), K: 5, Eps: 0.05}
+	if _, st, err := EPTContext(context.Background(), pts, q, EPTOptions{}); err != nil || st.Splits == 0 {
+		t.Fatalf("precondition: query must split (splits=%d, err=%v)", st.Splits, err)
+	}
+	inj := faultinject.New(&faultinject.Fault{Point: faultinject.EPTSplit, Panics: "worker boom"})
+	ctx := faultinject.ContextWith(context.Background(), inj)
+	pol := SolvePolicy{Solver: EPTSolver{Opt: EPTOptions{Workers: 4}}}
+
+	done := make(chan struct{})
+	var se *SolveError
+	go func() {
+		defer close(done)
+		_, _, _, err := pol.Solve(ctx, prep, q, 3)
+		if !errors.As(err, &se) {
+			t.Errorf("err = %v, want *SolveError", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("parallel E-PT deadlocked after a worker panic")
+	}
+	if se == nil {
+		return
+	}
+	if se.Solver != "E-PT" || se.QueryIndex != 3 || se.Panic != "worker boom" || len(se.Stack) == 0 {
+		t.Fatalf("SolveError{Solver:%q QueryIndex:%d Panic:%v stack:%dB}", se.Solver, se.QueryIndex, se.Panic, len(se.Stack))
+	}
+}
+
+// parallelFor must convert a body panic into an error instead of crashing
+// the process.
+func TestParallelForPanicIsolation(t *testing.T) {
+	err := parallelFor(context.Background(), 4, 100, 0xf, func(i int) {
+		if i == 50 {
+			panic("body boom")
+		}
+	})
+	var se *SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SolveError", err)
+	}
+	if se.Panic != "body boom" || len(se.Stack) == 0 {
+		t.Fatalf("SolveError{Panic:%v stack:%dB}", se.Panic, len(se.Stack))
+	}
+}
+
+func TestDegradableClassification(t *testing.T) {
+	cases := []struct {
+		err    error
+		reason DegradeReason
+		ok     bool
+	}{
+		{nil, 0, false},
+		{&QueryError{Field: "k", Msg: "x"}, 0, false},
+		{&SolveError{Solver: "E-PT", Panic: "x"}, 0, false},
+		{context.Canceled, 0, false},
+		{ErrDeadline, DegradeTimeout, true},
+		{&BudgetError{Limit: 1, Spent: 2}, DegradeBudget, true},
+		{&NumericalError{Solver: "LP-CTA", Err: errors.New("lp failed")}, DegradeNumerical, true},
+		{errors.New("anything else"), DegradeNumerical, true},
+	}
+	for _, c := range cases {
+		reason, ok := degradable(c.err)
+		if ok != c.ok || (ok && reason != c.reason) {
+			t.Errorf("degradable(%v) = (%v, %v), want (%v, %v)", c.err, reason, ok, c.reason, c.ok)
+		}
+	}
+}
+
+// cancelOnFirstEvent builds a context that cancels itself the moment the
+// solve emits its first trace event — i.e. mid-solve, after the first phase
+// has opened — plus a registry to audit the phase timers afterwards.
+func cancelOnFirstEvent(t *testing.T) (context.Context, *obs.Registry) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	var once sync.Once
+	ctx = obs.ContextWithTrace(ctx, func(obs.Event) { once.Do(cancel) })
+	reg := obs.NewRegistry()
+	return obs.ContextWithRegistry(ctx, reg), reg
+}
+
+// assertPhasesBalanced fails if any phase timer was opened (created) but
+// never observed a closing — the dangling-open-phase bug the idempotent
+// closers fix.
+func assertPhasesBalanced(t *testing.T, reg *obs.Registry) {
+	t.Helper()
+	timers := reg.Timers()
+	if len(timers) == 0 {
+		t.Error("no phase timers recorded; the solve never opened a phase")
+	}
+	for name, snap := range timers {
+		if snap.Count == 0 {
+			t.Errorf("phase %s opened but never closed", name)
+		}
+	}
+}
+
+// Mid-phase cancellation of every solver: the solve must abort with
+// context.Canceled and leave every opened phase timer closed.
+func TestCancelMidPhaseAllSolvers(t *testing.T) {
+	pts4, q4 := heavyInstance(t)
+
+	// The 2-d solvers need a query whose sweep window survives reduction
+	// (pieces > 0) and enough crossing planes that the brute-force
+	// enumeration passes its amortized check cadence; scan for one.
+	pts2 := dataset.Generate(dataset.Independent, 3000, 2, 13)
+	rng := rand.New(rand.NewSource(8))
+	var q2 Query
+	found := false
+	for i := 0; i < 30 && !found; i++ {
+		q2 = Query{Q: dataset.RandQuery(rng, pts2), K: 20, Eps: 0.2}
+		if _, st, err := SweepingContext(context.Background(), pts2, q2); err == nil && st.Pieces > 0 && st.PlanesBuilt > 300 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("precondition: no 2-d query yields pieces; pick new seeds")
+	}
+
+	cases := []struct {
+		name   string
+		solve  func(ctx context.Context) error
+		phases bool // solver instruments phase timers
+	}{
+		{name: "Sweeping", phases: true, solve: func(ctx context.Context) error {
+			_, _, err := SweepingContext(ctx, pts2, q2)
+			return err
+		}},
+		{name: "EPT-serial", phases: true, solve: func(ctx context.Context) error {
+			_, _, err := EPTContext(ctx, pts4, q4, EPTOptions{})
+			return err
+		}},
+		{name: "EPT-parallel", phases: true, solve: func(ctx context.Context) error {
+			_, _, err := EPTContext(ctx, pts4, q4, EPTOptions{Workers: 4})
+			return err
+		}},
+		{name: "APC-serial", phases: true, solve: func(ctx context.Context) error {
+			_, _, err := APCContext(ctx, pts4, q4, APCOptions{Samples: 4000, Seed: 1})
+			return err
+		}},
+		{name: "APC-parallel", phases: true, solve: func(ctx context.Context) error {
+			_, _, err := APCContext(ctx, pts4, q4, APCOptions{Samples: 4000, Seed: 1, Workers: 4})
+			return err
+		}},
+		{name: "BruteForce2D", phases: false, solve: func(ctx context.Context) error {
+			_, _, err := BruteForce2DContext(ctx, pts2, q2)
+			return err
+		}},
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			ctx, reg := cancelOnFirstEvent(t)
+			err := c.solve(ctx)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if c.phases {
+				assertPhasesBalanced(t, reg)
+			}
+		})
+	}
+}
+
+// A canceled batch leaves unstarted queries with ctx.Err() and closes the
+// phases of the in-flight ones — the batch-level view of the same property.
+func TestCancelMidBatchPhasesBalanced(t *testing.T) {
+	pts := dataset.Generate(dataset.Anticorrelated, 1500, 3, 21)
+	prep, err := Prepare(pts, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	queries := make([]Query, 16)
+	for i := range queries {
+		queries[i] = Query{Q: dataset.RandQuery(rng, pts), K: 6, Eps: 0.05}
+	}
+	ctx, reg := cancelOnFirstEvent(t)
+	outs := SolveBatchPolicy(ctx, SolvePolicy{Solver: EPTSolver{}}, prep, queries, 2)
+	failed := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			failed++
+			if !errors.Is(o.Err, context.Canceled) {
+				t.Fatalf("per-query err = %v, want context.Canceled", o.Err)
+			}
+		}
+	}
+	if failed == 0 {
+		t.Fatal("cancellation had no effect on the batch")
+	}
+	assertPhasesBalanced(t, reg)
+}

@@ -38,10 +38,12 @@ func SweepingContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stat
 		return nil, st, err
 	}
 	check := NewCtxChecker(ctx, 0)
+	check.SetFaultKey(q.Q)
 	if check.Failed() {
 		return nil, st, check.Err()
 	}
 	planePhase := check.Phase("phase.sweep.planes")
+	defer planePhase()
 	ps := buildPlanes(pts, q)
 	planePhase()
 	st.PlanesBuilt = len(ps.crossing)

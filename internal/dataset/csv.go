@@ -1,13 +1,41 @@
 package dataset
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+	"strings"
 
 	"rrq/internal/vec"
 )
+
+// CSVError is the typed error ReadCSV returns for a malformed dataset
+// file. Row is the 1-based physical row of the offense (the header is row
+// 1; 0 for whole-file problems such as an empty input), Field the 1-based
+// field within the row (0 when the whole row is at fault).
+type CSVError struct {
+	Row   int
+	Field int
+	Msg   string
+}
+
+func (e *CSVError) Error() string {
+	switch {
+	case e.Row == 0:
+		return fmt.Sprintf("dataset: %s", e.Msg)
+	case e.Field == 0:
+		return fmt.Sprintf("dataset: row %d: %s", e.Row, e.Msg)
+	default:
+		return fmt.Sprintf("dataset: row %d field %d: %s", e.Row, e.Field, e.Msg)
+	}
+}
+
+func csvErrf(row, field int, format string, args ...any) *CSVError {
+	return &CSVError{Row: row, Field: field, Msg: fmt.Sprintf(format, args...)}
+}
 
 // WriteCSV writes points as rows of decimal values with a header
 // attr1..attrD.
@@ -37,31 +65,71 @@ func WriteCSV(w io.Writer, pts []vec.Vec) error {
 }
 
 // ReadCSV reads points written by WriteCSV (or any numeric CSV with a
-// one-line header). All rows must have the same width.
+// one-line header). The loader is strict so malformed files fail loudly at
+// the boundary instead of poisoning the geometry kernels downstream: every
+// data row must match the header's width (ragged rows are rejected with
+// their physical row number), every field must parse to a finite float
+// (NaN/Inf are rejected), an empty file or a header with no data rows is
+// an error, and blank lines are tolerated only as trailing padding — a
+// blank line with data after it is a hole in the data and is rejected.
+// All failures are typed *CSVError values carrying the 1-based row (and
+// field, where one is at fault).
+//
+// The format is plain numeric CSV, so rows are scanned line by line rather
+// than through encoding/csv — which silently swallows blank lines and
+// would mis-number every row after one.
 func ReadCSV(r io.Reader) ([]vec.Vec, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(rows) <= 1 {
-		return nil, nil
-	}
-	d := len(rows[0])
-	pts := make([]vec.Vec, 0, len(rows)-1)
-	for i, row := range rows[1:] {
-		if len(row) != d {
-			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", i+2, len(row), d)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	row := 0 // physical 1-based row of the line just read
+	d := 0   // header width
+	blanks := 0
+	var pts []vec.Vec
+	for sc.Scan() {
+		row++
+		line := strings.TrimSuffix(sc.Text(), "\r")
+		if strings.TrimSpace(line) == "" {
+			if row == 1 {
+				return nil, csvErrf(1, 0, "blank header row")
+			}
+			// Tolerated only as trailing padding: a later data row makes
+			// this an interior blank, which is a hole in the data.
+			blanks++
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if row == 1 {
+			d = len(fields)
+			continue // header: names only, nothing to parse
+		}
+		if blanks > 0 {
+			return nil, csvErrf(row, 0, "data row after %d blank line(s); blank lines are only allowed at the end of the file", blanks)
+		}
+		if len(fields) != d {
+			return nil, csvErrf(row, 0, "ragged row: %d fields, want %d (header width)", len(fields), d)
 		}
 		p := vec.New(d)
-		for j, s := range row {
-			x, err := strconv.ParseFloat(s, 64)
+		for j, s := range fields {
+			x, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: row %d field %d: %w", i+2, j+1, err)
+				return nil, csvErrf(row, j+1, "not a number: %q", strings.TrimSpace(s))
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, csvErrf(row, j+1, "non-finite value %v", x)
 			}
 			p[j] = x
 		}
 		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, csvErrf(row+1, 0, "%v", err)
+	}
+	if row == 0 {
+		return nil, csvErrf(0, 0, "empty file (want a header row and at least one data row)")
+	}
+	if len(pts) == 0 {
+		return nil, csvErrf(0, 0, "no data rows (header only)")
 	}
 	return pts, nil
 }

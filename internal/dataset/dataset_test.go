@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -206,14 +207,43 @@ func TestCSVRoundTrip(t *testing.T) {
 }
 
 func TestReadCSVErrors(t *testing.T) {
-	if _, err := ReadCSV(strings.NewReader("a,b\n1,2,3\n")); err == nil {
-		t.Fatal("ragged row accepted")
+	wantCSVErr := func(t *testing.T, input string, row, field int) {
+		t.Helper()
+		_, err := ReadCSV(strings.NewReader(input))
+		if err == nil {
+			t.Fatalf("accepted malformed input %q", input)
+		}
+		var ce *CSVError
+		if !errors.As(err, &ce) {
+			t.Fatalf("error is %T (%v), want *CSVError", err, err)
+		}
+		if ce.Row != row || ce.Field != field {
+			t.Fatalf("error at row %d field %d, want row %d field %d (%v)", ce.Row, ce.Field, row, field, err)
+		}
 	}
-	if _, err := ReadCSV(strings.NewReader("a,b\n1,x\n")); err == nil {
-		t.Fatal("non-numeric accepted")
+
+	wantCSVErr(t, "a,b\n1,2,3\n", 2, 0)             // ragged row
+	wantCSVErr(t, "a,b\n1,2\n0.5\n", 3, 0)          // ragged row, numbered
+	wantCSVErr(t, "a,b\n1,x\n", 2, 2)               // non-numeric, field numbered
+	wantCSVErr(t, "a,b\n1,NaN\n", 2, 2)             // non-finite
+	wantCSVErr(t, "a,b\n1,+Inf\n", 2, 2)            // non-finite
+	wantCSVErr(t, "", 0, 0)                         // empty file
+	wantCSVErr(t, "a,b\n", 0, 0)                    // header only
+	wantCSVErr(t, "a,b\n\n\n", 0, 0)                // header + blanks only
+	wantCSVErr(t, "a,b\n1,2\n\n3,4\n", 4, 0)        // interior blank line
+	wantCSVErr(t, "  \n1,2\n", 1, 0)                // blank header
+	wantCSVErr(t, "a,b\n1,2\n3,4,5\n0.1,0.2", 3, 0) // ragged mid-file
+}
+
+func TestReadCSVTrailingBlanks(t *testing.T) {
+	pts, err := ReadCSV(strings.NewReader("a,b\n1,2\n0.5,0.25\n\n\n"))
+	if err != nil {
+		t.Fatalf("trailing blank lines rejected: %v", err)
 	}
-	pts, err := ReadCSV(strings.NewReader(""))
-	if err != nil || pts != nil {
-		t.Fatalf("empty input: %v %v", pts, err)
+	if len(pts) != 2 || pts[1][1] != 0.25 {
+		t.Fatalf("bad parse: %v", pts)
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n 1 , 2 \n")); err != nil {
+		t.Fatalf("padded fields rejected: %v", err)
 	}
 }

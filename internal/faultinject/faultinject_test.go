@@ -1,0 +1,142 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFromNilAndUnarmed(t *testing.T) {
+	if From(nil) != nil {
+		t.Fatal("From(nil) != nil")
+	}
+	if From(context.Background()) != nil {
+		t.Fatal("From(Background) != nil")
+	}
+	if ContextWith(context.Background(), nil) != context.Background() {
+		t.Fatal("ContextWith(nil injector) should return ctx unchanged")
+	}
+}
+
+func TestErrFault(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(&Fault{Point: LPSolve, Err: boom})
+	if err := in.Fire(LPSolve, nil); !errors.Is(err, boom) {
+		t.Fatalf("Fire = %v, want boom", err)
+	}
+	// Other points stay quiet.
+	if err := in.Fire(EPTSplit, nil); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	in := New(&Fault{Point: EPTSplit, Panics: "kaboom"})
+	defer func() {
+		if rec := recover(); rec != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", rec)
+		}
+	}()
+	in.Fire(EPTSplit, nil)
+	t.Fatal("panic fault did not panic")
+}
+
+func TestDelayFault(t *testing.T) {
+	in := New(&Fault{Point: SolveStart, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Fire(SolveStart, nil); err != nil {
+		t.Fatalf("pure delay fault returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay fault slept only %v", d)
+	}
+}
+
+func TestMatchScoping(t *testing.T) {
+	boom := errors.New("boom")
+	q := []float64{0.3, 0.7}
+	in := New(&Fault{Point: SolveStart, Match: MatchPoint(q), Err: boom})
+	if err := in.Fire(SolveStart, []float64{0.3, 0.7}); !errors.Is(err, boom) {
+		t.Fatalf("matching key did not fire: %v", err)
+	}
+	if err := in.Fire(SolveStart, []float64{0.3, 0.6}); err != nil {
+		t.Fatalf("non-matching key fired: %v", err)
+	}
+	if err := in.Fire(SolveStart, []float64{0.3}); err != nil {
+		t.Fatalf("shorter key fired: %v", err)
+	}
+	// MatchPoint copies its argument: mutating the original must not
+	// change the predicate.
+	orig := []float64{1, 2}
+	m := MatchPoint(orig)
+	orig[0] = 9
+	if !m([]float64{1, 2}) {
+		t.Fatal("MatchPoint aliased its argument")
+	}
+}
+
+func TestTimesDisarm(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(&Fault{Point: BudgetCheck, Err: boom, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := in.Fire(BudgetCheck, nil); !errors.Is(err, boom) {
+			t.Fatalf("firing %d: %v, want boom", i, err)
+		}
+	}
+	if err := in.Fire(BudgetCheck, nil); err != nil {
+		t.Fatalf("fault fired after Times exhausted: %v", err)
+	}
+}
+
+func TestTimesConcurrent(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(&Fault{Point: SolveStart, Err: boom, Times: 5})
+	var fired atomic32
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if in.Fire(SolveStart, nil) != nil {
+				fired.inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fired.load(); got != 5 {
+		t.Fatalf("fault fired %d times under concurrency, want exactly 5", got)
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	e1, e2 := errors.New("first"), errors.New("second")
+	in := New(
+		&Fault{Point: SolveStart, Match: MatchPoint([]float64{1}), Err: e1},
+		&Fault{Point: SolveStart, Err: e2},
+	)
+	if err := in.Fire(SolveStart, []float64{1}); !errors.Is(err, e1) {
+		t.Fatalf("Fire = %v, want first", err)
+	}
+	if err := in.Fire(SolveStart, []float64{2}); !errors.Is(err, e2) {
+		t.Fatalf("Fire = %v, want second", err)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	in := New(&Fault{Point: SolveStart, Err: errors.New("x")})
+	ctx := ContextWith(context.Background(), in)
+	if From(ctx) != in {
+		t.Fatal("injector did not round-trip through the context")
+	}
+}
+
+// atomic32 is a tiny counter to keep the test free of loop-local races.
+type atomic32 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomic32) inc()      { a.mu.Lock(); a.n++; a.mu.Unlock() }
+func (a *atomic32) load() int { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

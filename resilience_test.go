@@ -1,0 +1,184 @@
+package rrq
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// resilienceDataset is a 2-d market where LP-CTA does enough LP work to
+// trip a small budget while Sweeping answers the same queries within it.
+func resilienceDataset(t *testing.T) (*Dataset, Query) {
+	t.Helper()
+	ds := SyntheticDataset(Independent, 300, 2, 13)
+	for seed := int64(1); seed < 30; seed++ {
+		q := Query{Q: ds.RandomQuery(seed), K: 10, Epsilon: 0.2}
+		res, err := SolveContext(context.Background(), ds, q, WithAlgorithm(LPCTAAlgo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Region.IsEmpty() && res.Stats.LPSolves > 200 {
+			return ds, q
+		}
+	}
+	t.Fatal("precondition: no query makes LP-CTA work hard enough; pick new seeds")
+	return nil, Query{}
+}
+
+// WithWorkBudget + WithFallback end to end: the expensive primary trips the
+// budget, the query degrades to the exact fallback, and the Result records
+// why — while the degraded region still matches the exact answer.
+func TestWithWorkBudgetFallback(t *testing.T) {
+	ds, q := resilienceDataset(t)
+	reg := NewRegistry()
+	res, err := SolveContext(context.Background(), ds, q,
+		WithAlgorithm(LPCTAAlgo),
+		WithWorkBudget(50),
+		WithFallback(SweepingAlgo),
+		WithMetrics(reg))
+	if err != nil {
+		t.Fatalf("err = %v, want degraded success", err)
+	}
+	deg := res.Degraded
+	if deg == nil {
+		t.Fatal("Result.Degraded = nil, want a degradation record")
+	}
+	if deg.Reason != DegradeBudget || deg.Solver != "Sweeping" {
+		t.Fatalf("Degraded{%v, %q}, want {budget, Sweeping}", deg.Reason, deg.Solver)
+	}
+	var be *BudgetError
+	if !errors.As(deg.Cause, &be) {
+		t.Fatalf("cause %v, want *BudgetError", deg.Cause)
+	}
+	if c := reg.Counters()["solve.degraded.budget"]; c != 1 {
+		t.Errorf("solve.degraded.budget = %d, want 1", c)
+	}
+
+	// The fallback is exact in 2-d: cross-validate against a plain solve.
+	want, err := Solve(ds, q, WithAlgorithm(SweepingAlgo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Region.Measure(20000)-want.Measure(20000)) > 1e-9 {
+		t.Fatal("degraded region differs from the exact answer")
+	}
+
+	// Without the fallback, the same budget surfaces the typed error.
+	_, err = SolveContext(context.Background(), ds, q,
+		WithAlgorithm(LPCTAAlgo), WithWorkBudget(50))
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if be.Limit != 50 {
+		t.Fatalf("BudgetError.Limit = %d, want 50", be.Limit)
+	}
+}
+
+// WithQueryTimeout applies per query, not per batch: a batch under a
+// per-query timeout that each query individually fits completes fully.
+func TestWithQueryTimeoutPerQuery(t *testing.T) {
+	ds := SyntheticDataset(Independent, 60, 3, 7)
+	queries := make([]Query, 12)
+	for i := range queries {
+		queries[i] = Query{Q: ds.RandomQuery(int64(i + 1)), K: 3, Epsilon: 0.1}
+	}
+	report, err := SolveBatch(context.Background(), ds, queries,
+		WithAlgorithm(EPTAlgo), WithQueryTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 0 || report.Solved != len(queries) {
+		t.Fatalf("solved=%d failed=%d, want all %d solved", report.Solved, report.Failed, len(queries))
+	}
+	if report.Degraded != 0 {
+		t.Fatalf("Degraded = %d, want 0", report.Degraded)
+	}
+}
+
+// A batch with a degrading query: BatchReport counts it in both Solved and
+// Degraded, and the per-result Degraded record survives the trip through
+// the public layer.
+func TestSolveBatchDegradedCount(t *testing.T) {
+	ds, hard := resilienceDataset(t)
+	queries := []Query{
+		{Q: ds.RandomQuery(101), K: 2, Epsilon: 0.05},
+		hard,
+		{Q: ds.RandomQuery(102), K: 2, Epsilon: 0.05},
+	}
+	report, err := SolveBatch(context.Background(), ds, queries,
+		WithAlgorithm(LPCTAAlgo),
+		WithWorkBudget(50),
+		WithFallback(SweepingAlgo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 0 {
+		for i, r := range report.Results {
+			if r.Err != nil {
+				t.Logf("q%d: %v", i, r.Err)
+			}
+		}
+		t.Fatalf("failed = %d, want 0", report.Failed)
+	}
+	if report.Results[1].Degraded == nil {
+		t.Fatal("hard query did not degrade")
+	}
+	if report.Degraded < 1 || report.Degraded > len(queries) {
+		t.Fatalf("report.Degraded = %d", report.Degraded)
+	}
+	if report.Solved != len(queries) {
+		t.Fatalf("solved = %d, want %d", report.Solved, len(queries))
+	}
+}
+
+// The typed data errors of the hardened construction path.
+func TestNewDatasetTypedErrors(t *testing.T) {
+	_, err := NewDataset([][]float64{{0.5, 0.5}, {0.5, math.NaN()}})
+	var de *DataError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DataError", err)
+	}
+	if de.Point != 1 || de.Attr != 1 {
+		t.Fatalf("DataError{Point:%d Attr:%d}", de.Point, de.Attr)
+	}
+	_, err = NewDataset([][]float64{{0.5, 0.5}, {0.5}})
+	if !errors.As(err, &de) {
+		t.Fatalf("dimension mismatch err = %v, want *DataError", err)
+	}
+	if de.Point != 1 || de.Attr != -1 {
+		t.Fatalf("DataError{Point:%d Attr:%d}, want {1, -1}", de.Point, de.Attr)
+	}
+
+	// Raw (non-normalized) data stays accepted at construction — the
+	// construct→Normalize flow must keep working — but a non-positive value
+	// reaching a solver is a typed *DataError.
+	ds, err := NewDataset([][]float64{{5, -2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("raw data rejected at construction: %v", err)
+	}
+	_, err = Solve(ds, Query{Q: Point{0.5, 0.5}, K: 1, Epsilon: 0.1})
+	if !errors.As(err, &de) {
+		t.Fatalf("solve on non-positive data: err = %v, want *DataError", err)
+	}
+	// After Normalize the same data lands in the solver domain and solves.
+	if _, err := Solve(ds.Normalize(), Query{Q: Point{0.5, 0.5}, K: 1, Epsilon: 0.1}); err != nil {
+		t.Fatalf("normalized dataset rejected: %v", err)
+	}
+}
+
+// Non-positive query coordinates are rejected with a typed *QueryError.
+func TestQueryPositivityValidation(t *testing.T) {
+	ds := SyntheticDataset(Independent, 20, 2, 1)
+	for _, bad := range []Point{{0, 0.5}, {-0.1, 0.5}} {
+		_, err := Solve(ds, Query{Q: bad, K: 1, Epsilon: 0.1})
+		var qe *QueryError
+		if !errors.As(err, &qe) {
+			t.Fatalf("q=%v: err = %v, want *QueryError", bad, err)
+		}
+		if qe.Field != "q" {
+			t.Fatalf("q=%v: QueryError.Field = %q, want q", bad, qe.Field)
+		}
+	}
+}

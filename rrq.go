@@ -61,11 +61,11 @@ func NewDataset(points [][]float64) (*Dataset, error) {
 	pts := make([]vec.Vec, len(points))
 	for i, p := range points {
 		if len(p) != d {
-			return nil, fmt.Errorf("rrq: point %d has dimension %d, want %d", i, len(p), d)
+			return nil, &DataError{Point: i, Attr: -1, Msg: fmt.Sprintf("dimension %d, want %d", len(p), d)}
 		}
 		for j, x := range p {
 			if math.IsNaN(x) || math.IsInf(x, 0) {
-				return nil, fmt.Errorf("rrq: point %d attribute %d is %v", i, j, x)
+				return nil, &DataError{Point: i, Attr: j, Msg: fmt.Sprintf("value is %v, want finite", x)}
 			}
 		}
 		pts[i] = vec.Vec(p).Clone()
@@ -180,11 +180,16 @@ func (a Algorithm) String() string {
 type Stats = core.Stats
 
 // Result is the full outcome of one solve: the qualified region, the
-// solver's work counters and the wall-clock time spent.
+// solver's work counters and the wall-clock time spent. Degraded is nil
+// for a primary answer; when the answer came from the fallback chain
+// (WithFallback) it records why the primary failed and which fallback
+// solver produced the region. Stats then cover every attempt the query
+// cost, not just the successful one.
 type Result struct {
-	Region  *Region
-	Stats   Stats
-	Elapsed time.Duration
+	Region   *Region
+	Stats    Stats
+	Elapsed  time.Duration
+	Degraded *Degradation
 }
 
 // Event is one observability event emitted during a solve; see WithTrace.
@@ -223,14 +228,17 @@ type TimerSnapshot = obs.TimerSnapshot
 type Option func(*config)
 
 type config struct {
-	algo    Algorithm
-	samples int
-	seed    int64
-	workers int
-	intra   int
-	skyband bool
-	trace   obs.TraceFunc
-	metrics *obs.Registry
+	algo         Algorithm
+	samples      int
+	seed         int64
+	workers      int
+	intra        int
+	skyband      bool
+	trace        obs.TraceFunc
+	metrics      *obs.Registry
+	queryTimeout time.Duration
+	workBudget   int64
+	fallbacks    []Algorithm
 }
 
 // obsContext attaches the configured trace hook and metrics registry to ctx
@@ -303,6 +311,47 @@ func WithTrace(fn func(Event)) Option {
 	}
 }
 
+// WithQueryTimeout bounds the wall-clock time of each individual solve.
+// Unlike a context deadline — which covers a whole SolveBatch call — the
+// timeout restarts for every query (and for every fallback attempt, see
+// WithFallback), so one pathological query cannot starve the rest of a
+// batch. A solve that exceeds its timeout fails with ErrDeadline, or
+// degrades to the fallback chain when one is configured. d ≤ 0 (the
+// default) disables the per-query timeout.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(c *config) { c.queryTimeout = d }
+}
+
+// WithWorkBudget bounds the work of each individual solve in the solver's
+// own units — partition-tree node visits, LP relation tests, sample
+// classifications: the same units the amortized cancellation checks count.
+// Unlike a timeout, the bound is deterministic: a query either fits its
+// budget or fails with a *BudgetError on every run, regardless of machine
+// load. The budget is shared across a solve's intra-query workers and
+// checked on the amortized cadence, so small overruns (one check interval)
+// are possible. With WithFallback, a budget-exhausted query degrades
+// instead of failing; the fallback attempt gets a fresh budget. n ≤ 0 (the
+// default) disables the budget.
+func WithWorkBudget(n int64) Option {
+	return func(c *config) { c.workBudget = n }
+}
+
+// WithFallback installs a graceful-degradation chain: when the primary
+// solver times out (WithQueryTimeout), exhausts its work budget
+// (WithWorkBudget) or fails numerically, the query is re-run on each
+// fallback algorithm in order — each attempt with a fresh timeout and
+// budget — and the first success is returned with Result.Degraded
+// recording why and by which solver. The paper's own ladder is the natural
+// chain: A-PC is a bounded-error approximation of E-PT (§5.2), so
+// WithFallback(APCAlgo) trades exactness for a guaranteed answer; see
+// docs/ALGORITHMS.md for the error bound.
+//
+// Panics, validation errors and caller cancellation are never retried:
+// the answer would be wrong for the same reason, or the caller is gone.
+func WithFallback(algos ...Algorithm) Option {
+	return func(c *config) { c.fallbacks = append([]Algorithm(nil), algos...) }
+}
+
 // WithMetrics accumulates phase timings and solve counters into reg: each
 // solver phase (e.g. "phase.ept.insert") gets a histogram timer, and the
 // serving layer maintains "rrq.solves" / "rrq.solve_errors" counters. The
@@ -337,6 +386,33 @@ func solverFor(cfg config, dim int) (core.Solver, error) {
 	}
 }
 
+// policyFor assembles the core serving policy: the primary solver plus the
+// configured fallback chain and per-query limits. Fallback algorithms
+// resolve under the same configuration as the primary (samples, seed,
+// intra-query workers), so e.g. a degraded A-PC answer uses the caller's
+// sample count.
+func policyFor(cfg config, dim int) (core.SolvePolicy, error) {
+	s, err := solverFor(cfg, dim)
+	if err != nil {
+		return core.SolvePolicy{}, err
+	}
+	pol := core.SolvePolicy{
+		Solver:       s,
+		QueryTimeout: cfg.queryTimeout,
+		WorkBudget:   cfg.workBudget,
+	}
+	for _, a := range cfg.fallbacks {
+		fcfg := cfg
+		fcfg.algo = a
+		fb, err := solverFor(fcfg, dim)
+		if err != nil {
+			return core.SolvePolicy{}, err
+		}
+		pol.Fallbacks = append(pol.Fallbacks, fb)
+	}
+	return pol, nil
+}
+
 // Solve answers the reverse regret query over the dataset — the plain form
 // of SolveContext for callers that want only the region.
 func Solve(d *Dataset, q Query, opts ...Option) (*Region, error) {
@@ -361,8 +437,49 @@ func SolveContext(ctx context.Context, d *Dataset, q Query, opts ...Option) (Res
 	return p.Solve(ctx, q)
 }
 
-// ErrDeadline is returned when a solve exceeds its context deadline.
+// ErrDeadline is returned when a solve exceeds its context deadline or
+// per-query timeout (WithQueryTimeout).
 var ErrDeadline = core.ErrDeadline
+
+// DataError is the typed validation error for a malformed dataset point —
+// NaN/Inf attributes, non-positive values reaching a solver, or a
+// dimension mismatch; match it with errors.As. Point is the offending
+// point's index, Attr the offending attribute (−1 for a dimension
+// mismatch).
+type DataError = core.DataError
+
+// SolveError is the typed error for a panic recovered inside a solver or
+// one of its worker goroutines; match it with errors.As. The panic is
+// isolated to its query — in a batch, the other queries are unaffected —
+// and the error carries the solver name, the query's batch position
+// (QueryIndex, −1 standalone), the panic value and the goroutine stack.
+type SolveError = core.SolveError
+
+// BudgetError is the typed error for a solve that exceeded its work budget
+// (WithWorkBudget); match it with errors.As.
+type BudgetError = core.BudgetError
+
+// NumericalError is the typed error for a numerical failure inside a
+// solver — an LP that did not reach optimality, or degenerate geometry.
+// It is fallback-eligible under WithFallback.
+type NumericalError = core.NumericalError
+
+// Degradation records that a Result came from the fallback chain: why the
+// primary solver failed (Reason, Cause) and which fallback answered.
+type Degradation = core.Degradation
+
+// DegradeReason classifies why a query degraded to a fallback solver.
+type DegradeReason = core.DegradeReason
+
+// Degradation reasons.
+const (
+	// DegradeTimeout: the primary exceeded the per-query timeout.
+	DegradeTimeout = core.DegradeTimeout
+	// DegradeBudget: the primary exhausted its work budget.
+	DegradeBudget = core.DegradeBudget
+	// DegradeNumerical: the primary failed numerically.
+	DegradeNumerical = core.DegradeNumerical
+)
 
 // ReverseTopK answers the continuous reverse top-k query: the region of
 // preference space on which q ranks within the top k. It equals the
