@@ -95,6 +95,23 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 		negC []int32 // D⁻ used for negative constraints after merging
 	}
 	scale := 1 - q.Eps
+	// Classify each plane's normal component-wise up front, mirroring
+	// buildPlanes: a plane that is never negative over U — including the
+	// degenerate zero normal from q = (1−ε)p — contributes 0 to every
+	// sample's D⁻ by the system-wide contract (see QueryPlane). Deciding
+	// such planes by the raw utility difference instead would let rounding
+	// noise disqualify samples the exact solvers accept.
+	dropped := make([]bool, len(pts))
+	for j, p := range pts {
+		neg := false
+		for x := 0; x < d; x++ {
+			if q.Q[x]-scale*p[x] < -geom.Tol {
+				neg = true
+				break
+			}
+		}
+		dropped[j] = !neg
+	}
 	// Draw all samples up front so the answer does not depend on the
 	// worker count, then classify them (the O(N·n·d) phase), optionally in
 	// parallel.
@@ -105,6 +122,9 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 	classify := func(u vec.Vec) (neg []int32, ok bool) {
 		fq := u.Dot(q.Q)
 		for j, p := range pts {
+			if dropped[j] {
+				continue
+			}
 			if scale*u.Dot(p) > fq {
 				neg = append(neg, int32(j))
 				if len(neg) >= q.K {
@@ -243,7 +263,11 @@ func buildPartition(pts []vec.Vec, q Query, u vec.Vec, orig, negC []int32, check
 			w[x] = q.Q[x] - scale*p[x]
 		}
 		if w.Norm() < vec.Eps {
-			continue // boundary-degenerate plane, whole space on it
+			// Boundary-degenerate plane (q = (1−ε)p): the whole space lies on
+			// it. Per the QueryPlane contract it contributes 0 to the <k tally
+			// everywhere, so it constrains nothing; classify() never put it in
+			// a D⁻ set either, keeping both tallies consistent.
+			continue
 		}
 		h := geom.NewHyperplane(w, j)
 		cell = cell.Clip(h, sign)

@@ -1,50 +1,32 @@
 package core
 
-// Native fuzz targets. The seed corpus runs as part of the normal test
-// suite; `go test -fuzz=FuzzSweepingVsBrute ./internal/core` explores
-// further.
+// Native fuzz targets, seeded from the degenerate-input corpus shared with
+// the differential harness (internal/diffcheck/corpus): coverage-led
+// exploration starts from duplicate points, q = (1−ε)p boundaries,
+// k-th-rank ties, ε extremes and colinear families instead of having to
+// rediscover them. The seed corpus runs as part of the normal test suite;
+// `go test -fuzz=FuzzSweepingVsBrute ./internal/core` explores further.
 
 import (
-	"encoding/binary"
-	"math"
 	"math/rand"
 	"testing"
 
+	"rrq/internal/diffcheck/corpus"
 	"rrq/internal/vec"
 )
 
-// decodeInstance deterministically derives a small 2-d instance from raw
-// fuzz bytes: n points, a query, k and ε.
-func decodeInstance(data []byte) ([]vec.Vec, Query, bool) {
-	if len(data) < 8 {
-		return nil, Query{}, false
-	}
-	seed := int64(binary.LittleEndian.Uint64(data[:8]))
-	rng := rand.New(rand.NewSource(seed))
-	n := 2 + len(data)%24
-	pts := make([]vec.Vec, n)
-	for i := range pts {
-		pts[i] = vec.Of(0.01+0.99*rng.Float64(), 0.01+0.99*rng.Float64())
-	}
-	q := Query{
-		Q:   vec.Of(0.01+0.99*rng.Float64(), 0.01+0.99*rng.Float64()),
-		K:   1 + rng.Intn(6),
-		Eps: math.Mod(rng.Float64(), 0.3),
-	}
-	return pts, q, true
-}
-
 // FuzzSweepingVsBrute cross-checks the linear-time sweep against the
-// quadratic reference on arbitrary derived instances.
+// quadratic reference on arbitrary corpus-decoded 2-d instances.
 func FuzzSweepingVsBrute(f *testing.F) {
-	f.Add([]byte("seed-one"))
-	f.Add([]byte("another-seed-bytes"))
-	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for _, seed := range corpus.Seeds() {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		pts, q, ok := decodeInstance(data)
+		ins, ok := corpus.DecodeDim(data, 2)
 		if !ok {
 			return
 		}
+		pts, q := ins.Pts, Query{Q: ins.Q, K: ins.K, Eps: ins.Eps}
 		want, err := BruteForce2D(pts, q)
 		if err != nil {
 			return
@@ -61,41 +43,31 @@ func FuzzSweepingVsBrute(f *testing.F) {
 				continue
 			}
 			if want.Contains(u) != got.Contains(u) {
-				t.Fatalf("disagreement at %v (k=%d ε=%v)", u, q.K, q.Eps)
+				t.Fatalf("disagreement at %v (family=%s k=%d ε=%v)", u, ins.Family, q.K, q.Eps)
 			}
 		}
 	})
 }
 
-// FuzzAPCSound checks that A-PC never returns an unqualified preference.
+// FuzzAPCSound checks that A-PC never returns an unqualified preference on
+// corpus-decoded instances of any dimension.
 func FuzzAPCSound(f *testing.F) {
-	f.Add([]byte("apc-seed"), uint8(3))
-	f.Add([]byte("zzzzzzzzz"), uint8(7))
-	f.Fuzz(func(t *testing.T, data []byte, dimByte uint8) {
-		if len(data) < 8 {
+	for _, seed := range corpus.Seeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ins, ok := corpus.Decode(data)
+		if !ok {
 			return
 		}
-		d := 2 + int(dimByte)%3
-		seed := int64(binary.LittleEndian.Uint64(data[:8]))
-		rng := rand.New(rand.NewSource(seed))
-		n := 3 + len(data)%20
-		pts := make([]vec.Vec, n)
-		for i := range pts {
-			p := vec.New(d)
-			for j := range p {
-				p[j] = 0.01 + 0.99*rng.Float64()
-			}
-			pts[i] = p
-		}
-		qp := vec.New(d)
-		for j := range qp {
-			qp[j] = 0.01 + 0.99*rng.Float64()
-		}
-		q := Query{Q: qp, K: 1 + rng.Intn(4), Eps: math.Mod(rng.Float64(), 0.25)}
+		pts, q := ins.Pts, Query{Q: ins.Q, K: ins.K, Eps: ins.Eps}
+		d := q.Q.Dim()
+		seed := int64(len(data))
 		reg, err := APC(pts, q, APCOptions{Samples: 40, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
+		rng := rand.New(rand.NewSource(seed))
 		for i := 0; i < 50; i++ {
 			u := vec.RandSimplex(rng, d)
 			count, margin := CountBetter(pts, q, u)
@@ -103,7 +75,7 @@ func FuzzAPCSound(f *testing.F) {
 				continue
 			}
 			if reg.Contains(u) && count >= q.K {
-				t.Fatalf("A-PC returned unqualified %v (count=%d k=%d)", u, count, q.K)
+				t.Fatalf("A-PC returned unqualified %v (family=%s count=%d k=%d)", u, ins.Family, count, q.K)
 			}
 		}
 	})

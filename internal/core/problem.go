@@ -180,20 +180,50 @@ func RegretRatio(pts []vec.Vec, q Query, u vec.Vec) float64 {
 
 // CountBetter returns the number of points p with (1−ε)·f_u(p) > f_u(q) —
 // the number of negative half-spaces containing u — together with the
-// smallest absolute margin |(1−ε)f_u(p) − f_u(q)| seen. By Lemma 3.5, q is
-// a (k,ε)-regret point w.r.t. u iff the count is below k. The margin lets
-// property tests skip utility vectors that sit numerically on a boundary.
+// smallest absolute margin |(1−ε)f_u(p) − f_u(q)| seen over the planes that
+// genuinely cross the utility space. By Lemma 3.5, q is a (k,ε)-regret
+// point w.r.t. u iff the count is below k. The margin lets property tests
+// skip utility vectors that sit numerically on a boundary.
+//
+// Each point is classified component-wise with geom.Tol exactly as
+// buildPlanes classifies its plane, so this oracle and every solver agree
+// on degenerate inputs: a plane whose normal q − (1−ε)p is ≥ 0 within
+// tolerance (including the exactly-zero normal from q = (1−ε)p) never
+// counts, one that is ≤ 0 within tolerance always counts, and only the
+// remaining crossing planes are decided by the sign of the utility
+// difference. Deciding those degenerate planes by the raw floating-point
+// difference instead would make the count depend on rounding noise — and a
+// zero normal would pin the reported margin to ~0 for every u, silently
+// disabling margin-guarded checks.
 func CountBetter(pts []vec.Vec, q Query, u vec.Vec) (count int, margin float64) {
 	fq := u.Dot(q.Q)
 	margin = math.Inf(1)
 	scale := 1 - q.Eps
+	d := q.Q.Dim()
 	for _, p := range pts {
-		diff := scale*u.Dot(p) - fq
-		if diff > 0 {
-			count++
+		neg, pos := false, false
+		for j := 0; j < d; j++ {
+			x := q.Q[j] - scale*p[j]
+			if x > geom.Tol {
+				pos = true
+			} else if x < -geom.Tol {
+				neg = true
+			}
 		}
-		if a := math.Abs(diff); a < margin {
-			margin = a
+		switch {
+		case !neg:
+			// Never negative over U (includes the degenerate zero normal):
+			// contributes 0 everywhere and has no boundary inside U.
+		case !pos:
+			count++
+		default:
+			diff := scale*u.Dot(p) - fq
+			if diff > 0 {
+				count++
+			}
+			if a := math.Abs(diff); a < margin {
+				margin = a
+			}
 		}
 	}
 	return count, margin

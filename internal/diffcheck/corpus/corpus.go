@@ -1,0 +1,262 @@
+// Package corpus is the degenerate-input corpus shared by the diffcheck
+// differential harness and the native fuzz targets. Every instance is
+// derived deterministically from a small byte string, so the same encoding
+// serves three purposes at once:
+//
+//   - the diffcheck harness enumerates family × dimension × seed triples to
+//     sweep all degenerate families the paper's Lemma 3.5 silently assumes
+//     away (duplicate points, q = (1−ε)p exactly and within tolerance,
+//     k-th-rank ties, ε boundaries, colinear families);
+//   - the fuzz targets in internal/core seed from Seeds(), so coverage-led
+//     exploration starts from the adversarial corner cases instead of having
+//     to rediscover them;
+//   - a failing instance reproduces from its bytes alone.
+//
+// The package deliberately imports only internal/vec: internal/core's
+// in-package fuzz tests import it, so it must not (transitively) import
+// core.
+package corpus
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"rrq/internal/vec"
+)
+
+// Degenerate input families. Each picks one general-position assumption of
+// the geometric reformulation and violates it on purpose.
+const (
+	// FamRandom is the control family: points in general position.
+	FamRandom byte = iota
+	// FamDuplicates repeats dataset points exactly, so several hyper-planes
+	// h_{q,p} coincide (same normal, different IDs).
+	FamDuplicates
+	// FamBoundaryExact sets q = (1−ε)·p exactly for a dataset point p: the
+	// plane h_{q,p} has an exactly-zero normal and must be filtered
+	// identically by every layer.
+	FamBoundaryExact
+	// FamBoundaryNear perturbs the FamBoundaryExact query by ±1e-10 (below
+	// geom.Tol) or ±5e-9 (above it) on one coordinate, straddling the
+	// zero-normal filter threshold from both sides.
+	FamBoundaryNear
+	// FamRankTies repeats one strong point k+1 times, so the k-th rank is
+	// tied under every utility vector.
+	FamRankTies
+	// FamColinear places the points on one segment, making all pairwise
+	// difference vectors parallel and the plane arrangement maximally
+	// degenerate.
+	FamColinear
+	// FamEpsZero queries at ε = 0, where RRQ must degenerate exactly to the
+	// continuous reverse top-k; half the instances put q itself into the
+	// dataset.
+	FamEpsZero
+	// FamEpsNearOne queries at ε = 1 − 1e-9, the far boundary where every
+	// plane normal approaches q and the whole simplex qualifies.
+	FamEpsNearOne
+
+	// NumFamilies is the number of corpus families.
+	NumFamilies = iota
+)
+
+var familyNames = [NumFamilies]string{
+	"random", "duplicates", "boundary-exact", "boundary-near",
+	"rank-ties", "colinear", "eps-zero", "eps-near-one",
+}
+
+// FamilyName returns the human-readable name of a family constant.
+func FamilyName(fam byte) string {
+	if int(fam) < len(familyNames) {
+		return familyNames[fam]
+	}
+	return "unknown"
+}
+
+// Instance is one decoded problem: a dataset, a query point, the rank
+// parameter and the regret threshold. All attribute values are finite and
+// strictly positive, so instances pass core validation by construction.
+type Instance struct {
+	Family string
+	Pts    []vec.Vec
+	Q      vec.Vec
+	K      int
+	Eps    float64
+}
+
+// encoded layout: [family][dim][n][k][eps][8-byte seed]. Arbitrary bytes
+// decode (every selector is reduced modulo its range); EncodedLen bytes are
+// required.
+const EncodedLen = 13
+
+// Encode packs an instance selector into corpus bytes.
+func Encode(fam byte, dim, n, k, epsSel int, seed int64) []byte {
+	data := make([]byte, EncodedLen)
+	data[0] = fam
+	data[1] = byte(dim)
+	data[2] = byte(n)
+	data[3] = byte(k)
+	data[4] = byte(epsSel)
+	binary.LittleEndian.PutUint64(data[5:], uint64(seed))
+	return data
+}
+
+// epsTable holds the ε selector values for families that do not pin ε.
+// 1e-12 sits below every tolerance in the system; the rest are ordinary
+// operating points.
+var epsTable = [...]float64{0, 0.05, 0.1, 0.2, 0.3, 1e-12}
+
+// Decode derives an instance from raw bytes, with the dimension taken from
+// the bytes (2 ≤ d ≤ 6). ok is false only when data is too short.
+func Decode(data []byte) (Instance, bool) {
+	if len(data) < EncodedLen {
+		return Instance{}, false
+	}
+	return DecodeDim(data, 2+int(data[1])%5)
+}
+
+// DecodeDim derives an instance with a caller-forced dimension, for fuzz
+// targets that only accept specific dimensions (e.g. the 2-d sweep).
+func DecodeDim(data []byte, dim int) (Instance, bool) {
+	if len(data) < EncodedLen || dim < 2 {
+		return Instance{}, false
+	}
+	fam := data[0] % NumFamilies
+	n := 3 + int(data[2])%10
+	// Bound instance size in high dimensions: the harness cross-checks
+	// against arrangement-materializing oracles whose cell count grows like
+	// C(n, d).
+	if dim >= 4 && n > 9 {
+		n = 9
+	}
+	if dim >= 6 && n > 8 {
+		n = 8
+	}
+	k := 1 + int(data[3])%4
+	eps := epsTable[int(data[4])%len(epsTable)]
+	seed := int64(binary.LittleEndian.Uint64(data[5:13]))
+	rng := rand.New(rand.NewSource(seed))
+	return build(fam, dim, n, k, eps, rng), true
+}
+
+// build constructs one instance of the family. All randomness comes from
+// rng, so instances are pure functions of their bytes.
+func build(fam byte, dim, n, k int, eps float64, rng *rand.Rand) Instance {
+	ins := Instance{Family: FamilyName(fam), K: k, Eps: eps}
+	switch fam {
+	case FamDuplicates:
+		base := make([]vec.Vec, 1+n/2)
+		for i := range base {
+			base[i] = randPoint(rng, dim)
+		}
+		ins.Pts = make([]vec.Vec, n)
+		for i := 0; i < len(base) && i < n; i++ {
+			ins.Pts[i] = base[i]
+		}
+		for i := len(base); i < n; i++ {
+			ins.Pts[i] = base[rng.Intn(len(base))].Clone()
+		}
+		ins.Q = perturbedQuery(rng, ins.Pts)
+	case FamBoundaryExact, FamBoundaryNear:
+		ins.Pts = randPoints(rng, n, dim)
+		// q = (1−ε)·p computed coordinate-wise with the same expression the
+		// solvers use, so the plane normal q[j] − (1−ε)·p[j] is exactly zero.
+		p := ins.Pts[rng.Intn(n)]
+		scale := 1 - eps
+		q := vec.New(dim)
+		for j := range q {
+			q[j] = scale * p[j]
+		}
+		if fam == FamBoundaryNear {
+			deltas := [...]float64{1e-10, -1e-10, 5e-9, -5e-9}
+			q[rng.Intn(dim)] += deltas[rng.Intn(len(deltas))]
+		}
+		ins.Q = q
+	case FamRankTies:
+		if n < k+2 {
+			n = k + 2
+		}
+		strong := vec.New(dim)
+		for j := range strong {
+			strong[j] = 0.75 + 0.2*rng.Float64()
+		}
+		ins.Pts = make([]vec.Vec, n)
+		for i := 0; i <= k && i < n; i++ {
+			ins.Pts[i] = strong.Clone()
+		}
+		for i := k + 1; i < n; i++ {
+			ins.Pts[i] = randPoint(rng, dim)
+		}
+		ins.Q = perturbedQuery(rng, ins.Pts)
+	case FamColinear:
+		a, b := randPoint(rng, dim), randPoint(rng, dim)
+		ins.Pts = make([]vec.Vec, n)
+		for i := range ins.Pts {
+			t := float64(i) / float64(n-1)
+			ins.Pts[i] = a.Lerp(b, t)
+		}
+		ins.Q = perturbedQuery(rng, ins.Pts)
+	case FamEpsZero:
+		ins.Eps = 0
+		ins.Pts = randPoints(rng, n, dim)
+		if rng.Intn(2) == 0 {
+			// q ∈ D: at ε = 0 the plane h_{q,q} is exactly degenerate.
+			ins.Q = ins.Pts[rng.Intn(n)].Clone()
+		} else {
+			ins.Q = perturbedQuery(rng, ins.Pts)
+		}
+	case FamEpsNearOne:
+		ins.Eps = 1 - 1e-9
+		ins.Pts = randPoints(rng, n, dim)
+		ins.Q = perturbedQuery(rng, ins.Pts)
+	default: // FamRandom
+		ins.Pts = randPoints(rng, n, dim)
+		ins.Q = perturbedQuery(rng, ins.Pts)
+	}
+	return ins
+}
+
+// randPoint draws one point with coordinates in [0.05, 0.95], keeping every
+// derived query inside the (0,1] attribute domain even after perturbation.
+func randPoint(rng *rand.Rand, dim int) vec.Vec {
+	p := vec.New(dim)
+	for j := range p {
+		p[j] = 0.05 + 0.9*rng.Float64()
+	}
+	return p
+}
+
+func randPoints(rng *rand.Rand, n, dim int) []vec.Vec {
+	pts := make([]vec.Vec, n)
+	for i := range pts {
+		pts[i] = randPoint(rng, dim)
+	}
+	return pts
+}
+
+// perturbedQuery follows the paper's experimental protocol: a random
+// dataset point nudged slightly, clamped to stay strictly positive.
+func perturbedQuery(rng *rand.Rand, pts []vec.Vec) vec.Vec {
+	q := pts[rng.Intn(len(pts))].Clone()
+	for j := range q {
+		q[j] += (rng.Float64() - 0.5) * 0.1
+		if q[j] < 0.01 {
+			q[j] = 0.01
+		}
+		if q[j] > 1 {
+			q[j] = 1
+		}
+	}
+	return q
+}
+
+// Seeds returns one corpus entry per family across dimensions, for seeding
+// fuzz targets and quick harness smokes.
+func Seeds() [][]byte {
+	var out [][]byte
+	for fam := byte(0); fam < NumFamilies; fam++ {
+		for _, dim := range []int{2, 3, 4} {
+			out = append(out, Encode(fam, dim, 8, 2, int(fam)+1, int64(fam)*1000+int64(dim)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package diffcheck
+
+import (
+	"context"
+	"encoding/json"
+
+	"rrq/internal/baseline"
+	"rrq/internal/core"
+	"rrq/internal/diffcheck/corpus"
+	"rrq/internal/vec"
+)
+
+// Problem is the JSON-serializable reproduction of one generated instance.
+type Problem struct {
+	Family string      `json:"family"`
+	Pts    [][]float64 `json:"points"`
+	Q      []float64   `json:"q"`
+	K      int         `json:"k"`
+	Eps    float64     `json:"eps"`
+}
+
+func newProblem(ins corpus.Instance) Problem {
+	pts := make([][]float64, len(ins.Pts))
+	for i, p := range ins.Pts {
+		pts[i] = append([]float64(nil), p...)
+	}
+	return Problem{Family: ins.Family, Pts: pts, Q: append([]float64(nil), ins.Q...), K: ins.K, Eps: ins.Eps}
+}
+
+// Mismatch is one surviving disagreement: the check that failed, the solver
+// involved, the (minimized) problem, and the offending utility vector.
+type Mismatch struct {
+	Kind    string  `json:"kind"`
+	Solver  string  `json:"solver,omitempty"`
+	Problem Problem `json:"problem"`
+	U       vec.Vec `json:"u,omitempty"`
+	Detail  string  `json:"detail"`
+}
+
+// JSON renders the mismatch as an indented reproduction dump, suitable for
+// pasting straight into a regression test.
+func (m Mismatch) JSON() string {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "marshal error: " + err.Error()
+	}
+	return string(b)
+}
+
+// solveByName re-answers a problem with one named solver, for minimization
+// replays. The PBA+ index is rebuilt per call.
+func solveByName(name string, pts []vec.Vec, q core.Query, cfg Config) (*core.Region, error) {
+	ctx := context.Background()
+	if name == "PBA+" {
+		ix, err := baseline.BuildPBAContext(ctx, pts, q.K, cfg.PBAMaxNodes)
+		if err != nil {
+			return nil, err
+		}
+		return ix.QueryContext(ctx, q)
+	}
+	prep, err := core.Prepare(pts, q.Q.Dim(), false)
+	if err != nil {
+		return nil, err
+	}
+	var s core.Solver
+	switch name {
+	case "Sweeping":
+		s = core.SweepingSolver{}
+	case "E-PT":
+		s = core.EPTSolver{}
+	case "BruteForce":
+		s = core.BruteForceSolver{MaxPlanes: 64}
+	case "LP-CTA":
+		s = baseline.LPCTASolver{}
+	case "A-PC":
+		s = core.APCSolver{Opt: core.APCOptions{Samples: cfg.APCSamples, Seed: cfg.Seed}}
+	default:
+		s = core.EPTSolver{}
+	}
+	region, _, err := s.Solve(ctx, prep, q)
+	return region, err
+}
+
+// minimizeMembership greedily deletes dataset points while the membership
+// disagreement between the named solver and the counting oracle at u
+// persists, and returns the shrunken point set. Exact solvers disagree when
+// membership differs in either direction; A-PC only when it over-claims.
+func minimizeMembership(ins corpus.Instance, q core.Query, solver string, u vec.Vec, cfg Config) [][]float64 {
+	exact := solver != "A-PC"
+	fails := func(pts []vec.Vec) bool {
+		if len(pts) == 0 {
+			return false
+		}
+		oracle := newPlaneOracle(pts, q)
+		want, m := oracle.qualified(u)
+		if m < cfg.Margin {
+			return false
+		}
+		region, err := solveByName(solver, pts, q, cfg)
+		if err != nil {
+			return false
+		}
+		got := region.Contains(u)
+		if exact {
+			return got != want
+		}
+		return got && !want
+	}
+	cur := append([]vec.Vec(nil), ins.Pts...)
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < len(cur); i++ {
+			cand := make([]vec.Vec, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if fails(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+	}
+	out := make([][]float64, len(cur))
+	for i, p := range cur {
+		out[i] = append([]float64(nil), p...)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package diffcheck
+
+import (
+	"math"
+	"testing"
+
+	"rrq/internal/diffcheck/corpus"
+)
+
+// TestDifferentialSweep is the acceptance gate: ≥ 200 generated problems
+// covering every degenerate family, all six solvers exercised, zero
+// mismatches of any kind.
+func TestDifferentialSweep(t *testing.T) {
+	rep := Run(Config{Seed: 20240805})
+
+	if rep.Problems < 200 {
+		t.Fatalf("ran %d problems, want ≥ 200", rep.Problems)
+	}
+	for fam := byte(0); fam < corpus.NumFamilies; fam++ {
+		name := corpus.FamilyName(fam)
+		if rep.PerFamily[name] == 0 {
+			t.Errorf("family %q never generated", name)
+		}
+	}
+	for _, s := range []string{"Sweeping", "E-PT", "A-PC", "BruteForce", "LP-CTA", "PBA+"} {
+		if rep.SolverRuns[s] == 0 {
+			t.Errorf("solver %q never ran", s)
+		}
+	}
+	if rep.Checks < 10000 {
+		t.Errorf("only %d checks evaluated; the sweep looks vacuous", rep.Checks)
+	}
+	for i, m := range rep.Mismatches {
+		if i >= 5 {
+			t.Errorf("... and %d more mismatches", len(rep.Mismatches)-5)
+			break
+		}
+		t.Errorf("mismatch:\n%s", m.JSON())
+	}
+}
+
+// TestRunDeterminism: identical configs must produce identical reports —
+// the property that makes differential runs replayable.
+func TestRunDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Problems: 24}
+	a, b := Run(cfg), Run(cfg)
+	if a.Problems != b.Problems || a.Checks != b.Checks || len(a.Mismatches) != len(b.Mismatches) {
+		t.Fatalf("reports differ across identical runs: %+v vs %+v", a, b)
+	}
+}
+
+func TestCorpusDecodeDeterministic(t *testing.T) {
+	for _, data := range corpus.Seeds() {
+		a, ok := corpus.Decode(data)
+		if !ok {
+			t.Fatalf("seed corpus entry failed to decode")
+		}
+		b, _ := corpus.Decode(data)
+		if a.Family != b.Family || a.K != b.K || a.Eps != b.Eps || len(a.Pts) != len(b.Pts) {
+			t.Fatalf("decode is not deterministic: %+v vs %+v", a, b)
+		}
+		for i := range a.Pts {
+			if !a.Pts[i].Equal(b.Pts[i], 0) {
+				t.Fatalf("decode is not deterministic at point %d", i)
+			}
+		}
+		d := a.Q.Dim()
+		for _, p := range append(append([]corpus.Instance{}, a)[0].Pts, a.Q) {
+			if p.Dim() != d {
+				t.Fatalf("mixed dimensions in decoded instance")
+			}
+			for _, x := range p {
+				if !(x > 0) || math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("invalid coordinate %v in decoded instance", x)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleGridOnSimplex(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		grid := sampleGrid(d, 42, 16)
+		if len(grid) < 20 {
+			t.Fatalf("d=%d: grid too small (%d)", d, len(grid))
+		}
+		for _, u := range grid {
+			sum := 0.0
+			for _, x := range u {
+				if x <= 0 {
+					t.Fatalf("d=%d: non-interior sample %v", d, u)
+				}
+				sum += x
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("d=%d: sample off simplex (sum=%v)", d, sum)
+			}
+		}
+	}
+}

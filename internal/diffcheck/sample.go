@@ -1,0 +1,57 @@
+package diffcheck
+
+import (
+	"math"
+	"math/rand"
+
+	"rrq/internal/vec"
+)
+
+// latticeRes is the composition resolution per dimension: all vectors
+// (c₀+1, …, c_{d−1}+1)/(R+d) with Σcᵢ = R form a strictly interior simplex
+// lattice of C(R+d−1, d−1) points. Resolutions are chosen so the grid stays
+// in the low hundreds per problem.
+var latticeRes = map[int]int{2: 40, 3: 12, 4: 8, 5: 6, 6: 5}
+
+// sampleGrid returns the deterministic simplex lattice for dimension d plus
+// extra seeded random interior samples.
+func sampleGrid(d int, seed int64, extra int) []vec.Vec {
+	res, ok := latticeRes[d]
+	if !ok {
+		res = 4
+	}
+	var out []vec.Vec
+	comp := make([]int, d)
+	var walk func(pos, left int)
+	walk = func(pos, left int) {
+		if pos == d-1 {
+			comp[pos] = left
+			u := vec.New(d)
+			for j, c := range comp {
+				u[j] = float64(c+1) / float64(res+d)
+			}
+			out = append(out, u)
+			return
+		}
+		for c := 0; c <= left; c++ {
+			comp[pos] = c
+			walk(pos+1, left-c)
+		}
+	}
+	walk(0, res)
+
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < extra; i++ {
+		u := vec.New(d)
+		sum := 0.0
+		for j := range u {
+			u[j] = -math.Log(1 - rng.Float64()) // Exp(1): Dirichlet(1,…,1) after normalizing
+			sum += u[j]
+		}
+		for j := range u {
+			u[j] /= sum
+		}
+		out = append(out, u)
+	}
+	return out
+}

@@ -421,12 +421,31 @@ func anyTight(verts []vertex, id int32) bool {
 // coincides with v within tolerance.
 func appendVertex(vs []vertex, v vertex) []vertex {
 	for i := range vs {
-		if vs[i].pt.Equal(v.pt, 1e-9) {
+		if coincident(vs[i].pt, v.pt) {
 			vs[i].tight = vs[i].tight.union(v.tight)
 			return vs
 		}
 	}
 	return append(vs, v)
+}
+
+// coincident reports whether two vertex coordinates are equal under a
+// relative-or-absolute tolerance keyed to Tol: |x−y| ≤ Tol·(1+|x|+|y|).
+// An absolute comparison would be scale-dependent — too strict for
+// vertices near the simplex hull (coordinates ~1, where intersection
+// round-off is amplified by near-parallel planes) and needlessly exact
+// near the origin. Merging "too much" is sound here: merged vertices only
+// union their tight sets, which keeps more constraints alive in
+// dropRedundant; splitting a true vertex in two is what loses tight
+// memberships and drops live constraints.
+func coincident(a, b vec.Vec) bool {
+	for i, x := range a {
+		y := b[i]
+		if math.Abs(x-y) > Tol*(1+math.Abs(x)+math.Abs(y)) {
+			return false
+		}
+	}
+	return true
 }
 
 // SamplePoint returns a random point inside the cell: a random convex

@@ -127,8 +127,16 @@ func (h Hyperplane) String() string {
 
 // QueryPlane builds the RRQ hyper-plane h_{q,p} with normal q − (1−ε)·p
 // (paper §3.2). ok is false when the normal is numerically zero, i.e.
-// q = (1−ε)p; such planes put every utility vector on the boundary and are
-// treated by callers as "never negative".
+// q = (1−ε)p; such a plane puts every utility vector on its boundary.
+//
+// Contract (system-wide): a filtered plane contributes 0 to the
+// <k negative-half-space tally of Lemma 3.5, i.e. it is "never negative" —
+// the boundary itself is not inside the open negative half-space. Every
+// layer observes this: buildPlanes and CountBetter in internal/core drop
+// the plane from both count and margin, A-PC excludes it from sample D⁻
+// sets and partition constraints, and PBA+ descends through it without
+// consuming rank budget. See docs/ALGORITHMS.md, "Tolerances and
+// degeneracy".
 func QueryPlane(q, p vec.Vec, eps float64, id int) (h Hyperplane, ok bool) {
 	w := q.AddScaled(-(1 - eps), p)
 	if w.Norm() < vec.Eps {

@@ -1,0 +1,137 @@
+package topk
+
+// k-th-rank tie coverage: KthMax and Utilities feed the k-regratio
+// computation (core.MinQualifyingEps, Definition 3.2), so duplicated
+// utility values at rank k must select the tied value itself — not skip
+// over the tie group — or every downstream regret ratio shifts.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rrq/internal/vec"
+)
+
+func TestKthMaxTieTable(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		k    int
+		want float64
+	}{
+		{"tie spans rank k from above", []float64{0.9, 0.9, 0.9, 0.5}, 2, 0.9},
+		{"tie ends exactly at rank k", []float64{0.9, 0.9, 0.5, 0.4}, 2, 0.9},
+		{"tie starts exactly at rank k", []float64{0.9, 0.5, 0.5, 0.4}, 2, 0.5},
+		{"tie below rank k", []float64{0.9, 0.8, 0.5, 0.5}, 2, 0.8},
+		{"all values tied", []float64{0.7, 0.7, 0.7, 0.7}, 3, 0.7},
+		{"two tie groups around k", []float64{0.9, 0.9, 0.6, 0.6, 0.6, 0.1}, 4, 0.6},
+		{"tied maximum, k=1", []float64{0.8, 0.8, 0.2}, 1, 0.8},
+		{"tied minimum, k=n", []float64{0.9, 0.3, 0.3}, 3, 0.3},
+		{"negative ties at rank k", []float64{0.2, -0.4, -0.4, -0.9}, 3, -0.4},
+		{"tie of zeros at rank k", []float64{0.5, 0, 0, 0}, 2, 0},
+		{"unsorted input with ties", []float64{0.5, 0.9, 0.5, 0.9, 0.1}, 3, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := KthMax(tc.xs, tc.k); got != tc.want {
+				t.Fatalf("KthMax(%v, %d) = %v, want %v", tc.xs, tc.k, got, tc.want)
+			}
+			// KthMax must agree with the sort definition even under ties.
+			sorted := append([]float64(nil), tc.xs...)
+			sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+			if sorted[tc.k-1] != tc.want {
+				t.Fatalf("test case inconsistent with sort definition")
+			}
+		})
+	}
+}
+
+// kRegratioByDefinition computes Definition 3.2 directly from a descending
+// sort: the relative gap between the k-th highest utility and f_u(q),
+// floored at zero.
+func kRegratioByDefinition(pts []vec.Vec, q vec.Vec, u vec.Vec, k int) float64 {
+	utils := Utilities(pts, u)
+	sort.Sort(sort.Reverse(sort.Float64Slice(utils)))
+	if k > len(utils) {
+		k = len(utils)
+	}
+	sk := utils[k-1]
+	fq := u.Dot(q)
+	if sk <= 0 {
+		return 0
+	}
+	return math.Max(0, sk-fq) / sk
+}
+
+// TestKthMaxMatchesRegratioUnderTies builds datasets with exact utility
+// ties at rank k (duplicated points) and checks that the KthMax-based
+// k-regratio pipeline matches the definition computed by full sort.
+func TestKthMaxMatchesRegratioUnderTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		d := 2 + trial%4
+		k := 1 + rng.Intn(4)
+		// k+1 exact copies of one point guarantee a tie group spanning rank
+		// k under every utility vector.
+		strong := vec.New(d)
+		for j := range strong {
+			strong[j] = 0.5 + 0.4*rng.Float64()
+		}
+		pts := make([]vec.Vec, 0, k+5)
+		for i := 0; i <= k; i++ {
+			pts = append(pts, strong.Clone())
+		}
+		// Fillers are dominated by strong (coordinates below 0.45 < 0.5), so
+		// the tie group occupies ranks 1..k+1 under every utility vector.
+		for i := 0; i < 4; i++ {
+			p := vec.New(d)
+			for j := range p {
+				p[j] = 0.05 + 0.4*rng.Float64()
+			}
+			pts = append(pts, p)
+		}
+		q := strong.Clone()
+		q[rng.Intn(d)] *= 0.9
+
+		for i := 0; i < 20; i++ {
+			u := vec.RandSimplex(rng, d)
+			sk := KthMax(Utilities(pts, u), k)
+			fq := u.Dot(q)
+			var viaKth float64
+			if sk > 0 {
+				viaKth = math.Max(0, sk-fq) / sk
+			}
+			byDef := kRegratioByDefinition(pts, q, u, k)
+			if math.Abs(viaKth-byDef) > 1e-12 {
+				t.Fatalf("trial %d: k-regratio via KthMax = %v, by definition = %v (k=%d)", trial, viaKth, byDef, k)
+			}
+			// The tie group spans rank k, so the k-th max must equal the
+			// utility of the duplicated point exactly (bitwise: same inputs,
+			// same dot product).
+			if sk != u.Dot(strong) {
+				t.Fatalf("trial %d: KthMax did not land on the tied value: %v vs %v", trial, sk, u.Dot(strong))
+			}
+		}
+	}
+}
+
+// TestUtilitiesTiedPoints: exact duplicate points must produce bitwise
+// identical utilities — the property the tie tests above rely on.
+func TestUtilitiesTiedPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		d := 2 + trial%5
+		p := vec.New(d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts := []vec.Vec{p, p.Clone(), p.Clone()}
+		u := vec.RandSimplex(rng, d)
+		utils := Utilities(pts, u)
+		if utils[0] != utils[1] || utils[1] != utils[2] {
+			t.Fatalf("duplicate points produced distinct utilities: %v", utils)
+		}
+	}
+}

@@ -516,7 +516,15 @@ func (r *Region) Contains(u Vector) bool { return r.inner.Contains(vec.Vec(u)) }
 // interval regions the result is exact; otherwise samples Monte-Carlo
 // points (deterministically).
 func (r *Region) Measure(samples int) float64 {
-	return r.inner.Measure(rand.New(rand.NewSource(1)), samples)
+	return r.MeasureWithSeed(1, samples)
+}
+
+// MeasureWithSeed is Measure with a caller-supplied seed for the
+// Monte-Carlo sampler. Equal seeds and sample counts return the identical
+// estimate, making differential and replayed runs comparable; Measure is
+// MeasureWithSeed(1, samples).
+func (r *Region) MeasureWithSeed(seed int64, samples int) float64 {
+	return r.inner.Measure(rand.New(rand.NewSource(seed)), samples)
 }
 
 // Sample returns one qualified utility vector, or nil when the region is
