@@ -15,6 +15,7 @@ import (
 	"rrq/internal/core"
 	"rrq/internal/dataset"
 	"rrq/internal/expt"
+	"rrq/internal/index"
 	"rrq/internal/skyband"
 	"rrq/internal/study"
 	"rrq/internal/vec"
@@ -290,14 +291,14 @@ func BenchmarkHarnessQuickFigure(b *testing.B) {
 func BenchmarkDynamicInsert(b *testing.B) {
 	pts, q := benchInstance(b, dataset.Independent, 5000, 3, 5, 0.1)
 	b.Run("incremental", func(b *testing.B) {
-		dyn, err := core.NewDynamic(pts, q)
+		ix, err := index.Build(pts, 3, index.Options{Kmax: q.K})
 		if err != nil {
 			b.Fatal(err)
 		}
 		extra := dataset.Generate(dataset.Independent, b.N, 3, 99)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := dyn.Insert(extra[i]); err != nil {
+			if _, err := ix.Insert(extra[i]); err != nil {
 				b.Fatal(err)
 			}
 		}

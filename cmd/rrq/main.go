@@ -30,50 +30,68 @@ import (
 
 func main() {
 	var (
-		dataPath = flag.String("data", "", "CSV dataset path (header + numeric rows)")
-		qStr     = flag.String("q", "", "query product, e.g. 0.45,0.2")
-		qsStr    = flag.String("queries", "", "batch of query products separated by ';', e.g. 0.45,0.2;0.5,0.3")
-		k        = flag.Int("k", 1, "rank relaxation k")
-		eps      = flag.Float64("eps", 0.1, "regret threshold ε")
-		algoStr  = flag.String("algo", "auto", "auto|sweeping|ept|apc|lpcta|brute")
-		samples  = flag.Int("samples", 0, "A-PC sample count (0 = paper default)")
-		skyband  = flag.Bool("skyband", true, "preprocess to the k-skyband")
-		measureN = flag.Int("measure", 50000, "Monte-Carlo samples for the share estimate")
-		asJSON   = flag.Bool("json", false, "emit the region as JSON instead of text")
-		profile  = flag.Bool("profile", false, "print the market-share curve over ε instead of solving one query")
-		timeout  = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
-		workers  = flag.Int("workers", 0, "worker pool size for -queries batches (0 = GOMAXPROCS)")
-		intra    = flag.Int("intra-workers", 0, "workers inside each solve (E-PT subtree / A-PC sample pools; <=1 = serial)")
-		metrics  = flag.Bool("metrics", false, "print solver metrics (phase timers, work counters) after solving")
-		qTimeout = flag.Duration("query-timeout", 0, "per-query wall-clock limit, restarted for each query of a batch (0 = none)")
-		budget   = flag.Int64("budget", 0, "per-query work budget in solver work units (0 = none)")
-		fallback = flag.String("fallback", "", "comma-separated fallback algorithms tried on timeout/budget/numerical failure, e.g. apc,lpcta")
+		dataPath  = flag.String("data", "", "CSV dataset path (header + numeric rows)")
+		qStr      = flag.String("q", "", "query product, e.g. 0.45,0.2")
+		qsStr     = flag.String("queries", "", "batch of query products separated by ';', e.g. 0.45,0.2;0.5,0.3")
+		k         = flag.Int("k", 1, "rank relaxation k")
+		eps       = flag.Float64("eps", 0.1, "regret threshold ε")
+		algoStr   = flag.String("algo", "auto", "auto|sweeping|ept|apc|lpcta|brute")
+		samples   = flag.Int("samples", 0, "A-PC sample count (0 = paper default)")
+		skyband   = flag.Bool("skyband", true, "preprocess to the k-skyband")
+		measureN  = flag.Int("measure", 50000, "Monte-Carlo samples for the share estimate")
+		asJSON    = flag.Bool("json", false, "emit the region as JSON instead of text")
+		profile   = flag.Bool("profile", false, "print the market-share curve over ε instead of solving one query")
+		timeout   = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
+		workers   = flag.Int("workers", 0, "worker pool size for -queries batches (0 = GOMAXPROCS)")
+		intra     = flag.Int("intra-workers", 0, "workers inside each solve (E-PT subtree / A-PC sample pools; <=1 = serial)")
+		metrics   = flag.Bool("metrics", false, "print solver metrics (phase timers, work counters) after solving")
+		qTimeout  = flag.Duration("query-timeout", 0, "per-query wall-clock limit, restarted for each query of a batch (0 = none)")
+		budget    = flag.Int64("budget", 0, "per-query work budget in solver work units (0 = none)")
+		fallback  = flag.String("fallback", "", "comma-separated fallback algorithms tried on timeout/budget/numerical failure, e.g. apc,lpcta")
+		indexMode = flag.String("index", "", "build|load: serve queries from a persistent snapshot index instead of per-query preprocessing")
+		indexFile = flag.String("index-file", "", "index file path: written by -index build, read by -index load")
+		kmax      = flag.Int("kmax", 0, "rank ceiling of the index's rank-level tree for -index build (0 = default)")
 	)
 	flag.Parse()
 
-	if *dataPath == "" || (*qStr == "" && *qsStr == "") {
+	if *indexMode != "" && *indexMode != "build" && *indexMode != "load" {
+		fmt.Fprintln(os.Stderr, `rrq: -index must be "build" or "load"`)
+		os.Exit(2)
+	}
+	if *indexMode == "load" && *indexFile == "" {
+		fmt.Fprintln(os.Stderr, "rrq: -index load requires -index-file")
+		os.Exit(2)
+	}
+	dataNeeded := *indexMode != "load"
+	queryNeeded := *indexMode == ""
+	if (dataNeeded && *dataPath == "") || (queryNeeded && *qStr == "" && *qsStr == "") {
 		fmt.Fprintln(os.Stderr, "rrq: -data and one of -q / -queries are required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*dataPath)
-	fatal(err)
-	pts, err := dataset.ReadCSV(f)
-	f.Close()
-	fatal(err)
-	if len(pts) == 0 {
-		fatal(fmt.Errorf("no data rows in %s", *dataPath))
-	}
-	raw := make([][]float64, len(pts))
-	for i, p := range pts {
-		raw[i] = p
-	}
-	ds, err := rrq.NewDataset(raw)
-	fatal(err)
-	ds = ds.Normalize()
-	if *skyband {
-		ds = ds.KSkyband(*k)
+	var ds *rrq.Dataset
+	if dataNeeded {
+		f, err := os.Open(*dataPath)
+		fatal(err)
+		pts, err := dataset.ReadCSV(f)
+		f.Close()
+		fatal(err)
+		if len(pts) == 0 {
+			fatal(fmt.Errorf("no data rows in %s", *dataPath))
+		}
+		raw := make([][]float64, len(pts))
+		for i, p := range pts {
+			raw[i] = p
+		}
+		ds, err = rrq.NewDataset(raw)
+		fatal(err)
+		ds = ds.Normalize()
+		// The index maintains its own k-skyband prefilter incrementally, so
+		// the per-build skyband cut only applies to the per-query path.
+		if *skyband && *indexMode == "" {
+			ds = ds.KSkyband(*k)
+		}
 	}
 
 	algo, err := parseAlgo(*algoStr)
@@ -106,6 +124,19 @@ func main() {
 	var reg *rrq.Registry
 	if *metrics {
 		reg = rrq.NewRegistry()
+	}
+
+	if *indexMode != "" {
+		opts := []rrq.Option{rrq.WithAlgorithm(algo), rrq.WithIntraQueryWorkers(*intra)}
+		opts = append(opts, resOpts...)
+		if *samples > 0 {
+			opts = append(opts, rrq.WithSamples(*samples))
+		}
+		if reg != nil {
+			opts = append(opts, rrq.WithMetrics(reg))
+		}
+		indexMain(ctx, ds, reg, *indexMode, *indexFile, *qStr, *qsStr, *k, *kmax, *eps, *measureN, *workers, *asJSON, opts)
+		return
 	}
 
 	if *qsStr != "" {
@@ -207,6 +238,98 @@ func main() {
 			fmt.Printf("  example qualified preference: %v\n", fmtVec(u))
 		}
 	}
+	printMetrics(reg)
+}
+
+// indexMain implements -index build/load: it constructs or restores a
+// snapshot index, optionally persists it, and serves any requested queries
+// from the current snapshot instead of re-preprocessing per call.
+func indexMain(ctx context.Context, ds *rrq.Dataset, reg *rrq.Registry, mode, file, qStr, qsStr string, k, kmax int, eps float64, measureN, workers int, asJSON bool, opts []rrq.Option) {
+	var ix *rrq.Index
+	switch mode {
+	case "build":
+		bopts := append([]rrq.Option(nil), opts...)
+		if kmax > 0 {
+			bopts = append(bopts, rrq.WithKmax(kmax))
+		}
+		start := time.Now()
+		built, err := rrq.BuildIndex(ds, bopts...)
+		fatal(err)
+		ix = built
+		fmt.Printf("index:   built epoch %d over %d products, %d attributes in %v\n",
+			ix.Version(), ix.Len(), ix.Dim(), time.Since(start).Round(time.Microsecond))
+		if file != "" {
+			f, err := os.Create(file)
+			fatal(err)
+			err = ix.Save(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			fatal(err)
+			fmt.Printf("index:   saved to %s\n", file)
+		}
+	case "load":
+		f, err := os.Open(file)
+		fatal(err)
+		start := time.Now()
+		loaded, err := rrq.LoadIndex(f, opts...)
+		f.Close()
+		fatal(err)
+		ix = loaded
+		fmt.Printf("index:   loaded %s: epoch %d, %d products, %d attributes in %v\n",
+			file, ix.Version(), ix.Len(), ix.Dim(), time.Since(start).Round(time.Microsecond))
+	}
+
+	if qsStr != "" {
+		var queries []rrq.Query
+		for _, s := range strings.Split(qsStr, ";") {
+			q, err := parsePoint(s)
+			fatal(err)
+			queries = append(queries, rrq.Query{Q: q, K: k, Epsilon: eps})
+		}
+		report, err := ix.SolveBatch(ctx, queries, rrq.WithWorkers(workers))
+		fatal(err)
+		fmt.Printf("batch:   %d queries  k=%d  eps=%.3f  served from index epoch %d\n",
+			len(queries), k, eps, ix.Version())
+		for i, res := range report.Results {
+			if res.Err != nil {
+				fmt.Printf("  q%-3d %v  error: %v\n", i, queries[i].Q, res.Err)
+				continue
+			}
+			fmt.Printf("  q%-3d %v  %d partition(s), %.2f%% of the preference space  (%v)\n",
+				i, queries[i].Q, res.Region.NumPartitions(), 100*res.Region.Measure(measureN), res.Elapsed.Round(time.Microsecond))
+		}
+		fmt.Printf("total:   %d solved (%d degraded), %d failed in %v (query time %v)\n",
+			report.Solved, report.Degraded, report.Failed, report.Elapsed.Round(time.Microsecond), report.QueryTime.Round(time.Microsecond))
+		printMetrics(reg)
+		return
+	}
+
+	if qStr == "" {
+		printMetrics(reg)
+		return
+	}
+	q, err := parsePoint(qStr)
+	fatal(err)
+	res, err := ix.SolveContext(ctx, rrq.Query{Q: q, K: k, Epsilon: eps})
+	fatal(err)
+	region := res.Region
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(region))
+		printMetrics(reg)
+		return
+	}
+	fmt.Printf("query:   q=%v  k=%d  eps=%.3f  served from index epoch %d in %v\n",
+		q, k, eps, ix.Version(), res.Elapsed.Round(time.Microsecond))
+	if region.IsEmpty() {
+		fmt.Println("result:  no prospective customers — q never scores within ε of the top-k")
+		printMetrics(reg)
+		return
+	}
+	fmt.Printf("result:  %d qualified partition(s) covering %.2f%% of the preference space\n",
+		region.NumPartitions(), 100*region.Measure(measureN))
 	printMetrics(reg)
 }
 

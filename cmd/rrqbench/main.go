@@ -56,14 +56,14 @@ func writeCSV(dir string, t *expt.Table) error {
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		full    = flag.Bool("full", false, "use the paper's full-scale parameters")
-		seed    = flag.Int64("seed", 0, "override the experiment seed (0 = default)")
-		repeats = flag.Int("repeats", 0, "query points averaged per cell (0 = default)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		csvDir  = flag.String("csv", "", "also write each table as <dir>/<table-id>.csv")
-		budget  = flag.Duration("budget", 0, "per-cell wall-clock budget (0 = default)")
-		timeout = flag.Duration("timeout", 0, "alias of -budget: per-cell wall-clock budget (0 = default)")
+		exps       = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		full       = flag.Bool("full", false, "use the paper's full-scale parameters")
+		seed       = flag.Int64("seed", 0, "override the experiment seed (0 = default)")
+		repeats    = flag.Int("repeats", 0, "query points averaged per cell (0 = default)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir     = flag.String("csv", "", "also write each table as <dir>/<table-id>.csv")
+		budget     = flag.Duration("budget", 0, "per-cell wall-clock budget (0 = default)")
+		timeout    = flag.Duration("timeout", 0, "alias of -budget: per-cell wall-clock budget (0 = default)")
 		workers    = flag.Int("workers", 0, "worker count for the batch experiment (0 = sweep defaults)")
 		benchJSON  = flag.String("benchjson", "", "run the solve benchmark suite and write machine-readable JSON to this path")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
@@ -196,11 +196,61 @@ type benchResult struct {
 
 // benchReport is the top-level BENCH_solve.json document.
 type benchReport struct {
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Full       bool          `json:"full"`
-	Seed       int64         `json:"seed"`
-	Results    []benchResult `json:"results"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Full       bool               `json:"full"`
+	Seed       int64              `json:"seed"`
+	Results    []benchResult      `json:"results"`
+	Index      []indexBenchResult `json:"index_results"`
+}
+
+// indexScenario is one index-serving benchmark configuration: the dataset an
+// index is built over and the query stream replayed twice — warm through the
+// snapshot, cold through per-query preprocessing.
+type indexScenario struct {
+	Name    string
+	Dist    rrq.DistType
+	N, D    int
+	Algo    rrq.Algorithm
+	K       int
+	Eps     float64
+	Queries int
+	Rounds  int // times each query repeats (warm rounds hit the plane cache)
+}
+
+// indexBenchResult is the JSON record of one index scenario: the one-time
+// build cost, then warm (snapshot-served) vs cold (per-query validation +
+// skyband + plane classification) cost over the identical query stream, plus
+// the incremental-maintenance cost of an interleaved Insert/Delete stream.
+type indexBenchResult struct {
+	Name            string  `json:"name"`
+	N               int     `json:"n"`
+	D               int     `json:"d"`
+	K               int     `json:"k"`
+	Eps             float64 `json:"eps"`
+	Queries         int     `json:"queries"`
+	Rounds          int     `json:"rounds"`
+	BuildNs         int64   `json:"build_ns"`
+	WarmNsPerQuery  int64   `json:"warm_ns_per_query"`
+	ColdNsPerQuery  int64   `json:"cold_ns_per_query"`
+	WarmQPS         float64 `json:"warm_queries_per_sec"`
+	ColdQPS         float64 `json:"cold_queries_per_sec"`
+	Speedup         float64 `json:"speedup"`
+	MaintainOps     int     `json:"maintain_ops"`
+	MaintainNsPerOp int64   `json:"maintain_ns_per_op"`
+}
+
+// indexSuite returns the index scenario list, sized like benchSuite.
+func indexSuite(full bool) []indexScenario {
+	mul := 1
+	if full {
+		mul = 4
+	}
+	return []indexScenario{
+		{Name: "index-2d", Dist: rrq.Independent, N: 5000 * mul, D: 2, Algo: rrq.SweepingAlgo, K: 10, Eps: 0.1, Queries: 16 * mul, Rounds: 3},
+		{Name: "index-3d", Dist: rrq.Independent, N: 2000 * mul, D: 3, Algo: rrq.EPTAlgo, K: 5, Eps: 0.1, Queries: 8 * mul, Rounds: 3},
+		{Name: "index-4d", Dist: rrq.Anticorrelated, N: 1000 * mul, D: 4, Algo: rrq.EPTAlgo, K: 5, Eps: 0.1, Queries: 4 * mul, Rounds: 3},
+	}
 }
 
 // benchSuite returns the fixed scenario list. Quick scale keeps the whole
@@ -299,6 +349,20 @@ func runBenchJSON(path string, full bool, seed int64) error {
 			report.Elapsed.Round(time.Millisecond), time.Duration(res.NsPerQuery).Round(time.Microsecond),
 			res.AllocsPerQ)
 	}
+	for _, sc := range indexSuite(full) {
+		res, err := runIndexScenario(sc, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		rep.Index = append(rep.Index, res)
+		fmt.Printf("%-16s %-10s n=%-6d d=%d  build %v  warm %v/query vs cold %v/query (%.1fx)  maintain %v/op\n",
+			sc.Name, "index", sc.N, sc.D,
+			time.Duration(res.BuildNs).Round(time.Microsecond),
+			time.Duration(res.WarmNsPerQuery).Round(time.Microsecond),
+			time.Duration(res.ColdNsPerQuery).Round(time.Microsecond),
+			res.Speedup,
+			time.Duration(res.MaintainNsPerOp).Round(time.Microsecond))
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -314,4 +378,77 @@ func runBenchJSON(path string, full bool, seed int64) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// runIndexScenario times one index scenario: the one-time build, the query
+// stream served warm from the snapshot (repeated rounds exercise the shared
+// plane storage) and cold through full per-query preprocessing, and an
+// interleaved Insert/Delete maintenance stream.
+func runIndexScenario(sc indexScenario, seed int64) (indexBenchResult, error) {
+	ctx := context.Background()
+	ds := rrq.SyntheticDataset(sc.Dist, sc.N, sc.D, seed)
+	queries := make([]rrq.Query, sc.Queries)
+	for i := range queries {
+		queries[i] = rrq.Query{Q: ds.RandomQuery(seed + int64(i)), K: sc.K, Epsilon: sc.Eps}
+	}
+	res := indexBenchResult{Name: sc.Name, N: sc.N, D: sc.D, K: sc.K, Eps: sc.Eps, Queries: sc.Queries, Rounds: sc.Rounds}
+
+	start := time.Now()
+	ix, err := rrq.BuildIndex(ds, rrq.WithAlgorithm(sc.Algo))
+	if err != nil {
+		return res, err
+	}
+	res.BuildNs = time.Since(start).Nanoseconds()
+
+	total := sc.Queries * sc.Rounds
+	start = time.Now()
+	for r := 0; r < sc.Rounds; r++ {
+		for _, q := range queries {
+			if _, err := ix.SolveContext(ctx, q); err != nil {
+				return res, err
+			}
+		}
+	}
+	warm := time.Since(start)
+
+	start = time.Now()
+	for r := 0; r < sc.Rounds; r++ {
+		for _, q := range queries {
+			if _, err := rrq.SolveContext(ctx, ds, q, rrq.WithAlgorithm(sc.Algo), rrq.WithSkybandPrefilter(true)); err != nil {
+				return res, err
+			}
+		}
+	}
+	cold := time.Since(start)
+
+	res.WarmNsPerQuery = warm.Nanoseconds() / int64(total)
+	res.ColdNsPerQuery = cold.Nanoseconds() / int64(total)
+	if warm > 0 {
+		res.WarmQPS = float64(total) / warm.Seconds()
+	}
+	if cold > 0 {
+		res.ColdQPS = float64(total) / cold.Seconds()
+	}
+	if warm > 0 && cold > 0 {
+		res.Speedup = float64(cold.Nanoseconds()) / float64(warm.Nanoseconds())
+	}
+
+	// Maintenance: alternate fresh inserts and deletes, each publishing a new
+	// epoch with delta-maintained dominator counts.
+	const ops = 100
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		if i%2 == 0 {
+			if _, err := ix.Insert(ds.RandomQuery(seed + int64(1000+i))); err != nil {
+				return res, err
+			}
+		} else {
+			if _, err := ix.Delete(i % ix.Len()); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.MaintainOps = ops
+	res.MaintainNsPerOp = time.Since(start).Nanoseconds() / ops
+	return res, nil
 }

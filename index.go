@@ -1,0 +1,275 @@
+package rrq
+
+// Persistent index serving layer: the per-query preprocessing (validation,
+// k-skyband prefilter, plane classification) promoted into a first-class,
+// snapshot-versioned artifact. An Index is built once and then serves any
+// number of queries from immutable snapshots; Insert and Delete publish new
+// epochs copy-on-write, so concurrent readers keep answering on the epoch
+// they started with. Answers are byte-identical to a from-scratch solve
+// with the skyband prefilter enabled — the index changes where the
+// preprocessing lives, never what a query returns.
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"rrq/internal/core"
+	"rrq/internal/index"
+	"rrq/internal/vec"
+)
+
+// Index answers reverse regret queries from a persistent, version-stamped
+// snapshot of the dataset. Compared with Solve — which revalidates the
+// dataset, recomputes the k-skyband and reclassifies every hyper-plane per
+// call — an index snapshot holds all three, maintained incrementally across
+// Insert/Delete, and shares the classified plane sets of repeated queries.
+// All methods are safe for concurrent use.
+type Index struct {
+	inner *index.Index
+	cfg   config
+	dim   int
+}
+
+// WithKmax sets the rank ceiling of the index's rank-level tree (default 8).
+// It does not bound Solve's K: queries with larger K are served through the
+// ordinary solvers on the maintained skyband; only rank-tree serving
+// (WithRankTreeServing) is limited to K ≤ kmax.
+func WithKmax(k int) Option { return func(c *config) { c.kmax = k } }
+
+// WithRankTreeNodes bounds the node budget of the index's lazily built
+// rank-level tree (0 = default). A build exceeding the budget marks the
+// tree unavailable for that snapshot; queries fall back to the ordinary
+// solvers.
+func WithRankTreeNodes(n int) Option { return func(c *config) { c.treeNodes = n } }
+
+// WithRankTreeServing routes index queries with K ≤ kmax through the
+// snapshot's rank-level tree (the structure generalized from the PBA+
+// baseline), which answers without touching the dataset at all. The
+// qualified region is the same set of preferences, but its convex
+// decomposition — and therefore its JSON encoding — generally differs from
+// the solver-produced one, which is why tree serving is off by default.
+// Queries with K > kmax, or on snapshots whose tree exceeded its node
+// budget, silently use the ordinary solver path.
+func WithRankTreeServing(on bool) Option { return func(c *config) { c.treeServe = on } }
+
+// BuildIndex validates the dataset once and constructs the first snapshot
+// (epoch 1). The options fix the index shape (WithKmax, WithRankTreeNodes)
+// and the default solving configuration — algorithm, resilience policy and
+// observability — that Solve/SolveBatch inherit; per-call options override
+// the defaults. With WithMetrics, the build maintains "index.builds" and
+// the "index.epoch" gauge, times "phase.index.build", and every served
+// query's plane-cache traffic shows as "index.planes.hit"/"index.planes.miss".
+func BuildIndex(d *Dataset, opts ...Option) (*Index, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var done func()
+	if cfg.metrics != nil {
+		done = timePhase(cfg.metrics, "phase.index.build")
+	}
+	inner, err := index.Build(d.points(), d.Dim(), index.Options{Kmax: cfg.kmax, TreeNodes: cfg.treeNodes})
+	if done != nil {
+		done()
+	}
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{inner: inner, cfg: cfg, dim: d.Dim()}
+	if reg := cfg.metrics; reg != nil {
+		reg.Counter("index.builds").Inc()
+		reg.Gauge("index.epoch").Set(float64(inner.Version()))
+	}
+	return ix, nil
+}
+
+// timePhase starts the named phase timer on reg and returns its closer.
+func timePhase(reg *Registry, name string) func() {
+	t := reg.Timer(name)
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Version returns the current epoch number: 1 after BuildIndex, incremented
+// by every successful Insert or Delete.
+func (ix *Index) Version() uint64 { return ix.inner.Version() }
+
+// Len returns the current dataset size.
+func (ix *Index) Len() int { return ix.inner.Len() }
+
+// Dim returns the dataset dimension.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Kmax returns the rank ceiling of the index's rank-level tree.
+func (ix *Index) Kmax() int { return ix.inner.Kmax() }
+
+// Insert adds a product and publishes a new epoch; queries already running
+// keep serving the previous one. The dominator counts behind the skyband
+// prefilter are maintained by delta (one scan), not recomputed. Returns the
+// new version.
+func (ix *Index) Insert(p Point) (uint64, error) {
+	return ix.maintain("index.inserts", func() (uint64, error) {
+		return ix.inner.Insert(vec.Vec(p))
+	})
+}
+
+// Delete removes the i-th product (in insertion order) and publishes a new
+// epoch. Deletions are as cheap as insertions — the delta-maintained counts
+// retire the rebuild-on-delete the dynamic layer used to need. Returns the
+// new version.
+func (ix *Index) Delete(i int) (uint64, error) {
+	return ix.maintain("index.deletes", func() (uint64, error) {
+		return ix.inner.Delete(i)
+	})
+}
+
+// maintain runs one mutation with the index's maintenance observability:
+// the named counter, the "phase.index.maintain" timer and the
+// "index.epoch" gauge.
+func (ix *Index) maintain(counter string, op func() (uint64, error)) (uint64, error) {
+	var done func()
+	if ix.cfg.metrics != nil {
+		done = timePhase(ix.cfg.metrics, "phase.index.maintain")
+	}
+	v, err := op()
+	if done != nil {
+		done()
+	}
+	if reg := ix.cfg.metrics; reg != nil && err == nil {
+		reg.Counter(counter).Inc()
+		reg.Gauge("index.epoch").Set(float64(v))
+	}
+	return v, err
+}
+
+// Prepared binds the current snapshot to a solver configuration, reusing
+// the batch serving layer: the result answers Solve and SolveBatch with
+// panic isolation, per-query timeouts/budgets and fallback chains exactly
+// like a Prepare-d dataset, but with the snapshot's maintained prefilter
+// and shared plane storage doing the preprocessing. The Prepared is pinned
+// to the snapshot it was created from: later mutations do not affect it.
+func (ix *Index) Prepared(opts ...Option) (*Prepared, error) {
+	cfg := ix.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pol, err := policyFor(cfg, ix.dim)
+	if err != nil {
+		return nil, err
+	}
+	snap := ix.inner.Snapshot()
+	return &Prepared{prep: snap.Prepared(cfg.metrics), pol: pol, cfg: cfg, dim: ix.dim}, nil
+}
+
+// Solve answers one query on the current snapshot — the plain form of
+// SolveContext.
+func (ix *Index) Solve(q Query, opts ...Option) (*Region, error) {
+	res, err := ix.SolveContext(context.Background(), q, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Region, nil
+}
+
+// SolveContext answers one query on the current snapshot under a context,
+// with the index's default options merged with the per-call ones. The
+// answer is byte-identical to SolveContext over the same points with
+// WithSkybandPrefilter(true) — the snapshot serves the identical k-skyband
+// in the identical order — unless WithRankTreeServing routes the query
+// through the rank tree.
+func (ix *Index) SolveContext(ctx context.Context, q Query, opts ...Option) (Result, error) {
+	cfg := ix.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.treeServe {
+		if res, ok, err := ix.treeSolve(ctx, cfg, q); ok {
+			return res, err
+		}
+	}
+	p, err := ix.Prepared(opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Solve(ctx, q)
+}
+
+// treeSolve attempts to serve q from the snapshot rank tree. ok is false
+// when the query is out of the tree's reach (K > kmax) or the snapshot's
+// tree is unavailable (node budget exceeded) — the caller then uses the
+// ordinary solver path. Validation errors and context aborts are returned
+// with ok = true: they would fail the same way on any path.
+func (ix *Index) treeSolve(ctx context.Context, cfg config, q Query) (Result, bool, error) {
+	cq := q.toCore()
+	if err := cq.Validate(ix.dim); err != nil {
+		return Result{}, true, err
+	}
+	if q.K > ix.inner.Kmax() {
+		return Result{}, false, nil
+	}
+	snap := ix.inner.Snapshot()
+	octx := cfg.obsContext(ctx)
+	tree, err := snap.Tree(octx)
+	if err != nil {
+		if ctx.Err() != nil || err == core.ErrDeadline {
+			// The abort belongs to the caller, not the tree: report it.
+			return Result{}, true, err
+		}
+		return Result{}, false, nil // tree over budget: use the solver path
+	}
+	start := time.Now()
+	r, err := tree.QueryContext(octx, cq)
+	elapsed := time.Since(start)
+	if reg := cfg.metrics; reg != nil {
+		reg.Counter("rrq.solves").Inc()
+		if err != nil {
+			reg.Counter("rrq.solve_errors").Inc()
+		}
+	}
+	if err != nil {
+		return Result{Elapsed: elapsed}, true, err
+	}
+	return Result{
+		Region:  &Region{inner: r, q: cq},
+		Stats:   Stats{Pieces: r.NumPieces()},
+		Elapsed: elapsed,
+	}, true, nil
+}
+
+// SolveBatch answers the queries concurrently on one snapshot of the index
+// — every query of the batch sees the same epoch even while mutations run.
+// Batch semantics (worker pool, per-query isolation, report aggregation)
+// are those of Prepared.SolveBatch.
+func (ix *Index) SolveBatch(ctx context.Context, queries []Query, opts ...Option) (*BatchReport, error) {
+	p, err := ix.Prepared(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.SolveBatch(ctx, queries), nil
+}
+
+// Save writes the current snapshot to w in a self-contained binary format:
+// the points, index shape and epoch counter. Derived state (skyband views,
+// plane sets, the rank tree) is recomputed on load rather than serialized,
+// so saved indexes stay valid across cache-layout changes.
+func (ix *Index) Save(w io.Writer) error { return ix.inner.Save(w) }
+
+// LoadIndex restores an index written by Save and resumes it at the saved
+// epoch. The options configure solving defaults exactly as in BuildIndex;
+// the index shape (kmax, tree budget) comes from the file.
+func LoadIndex(r io.Reader, opts ...Option) (*Index, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	inner, err := index.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if reg := cfg.metrics; reg != nil {
+		reg.Counter("index.builds").Inc()
+		reg.Gauge("index.epoch").Set(float64(inner.Version()))
+	}
+	return &Index{inner: inner, cfg: cfg, dim: inner.Dim()}, nil
+}

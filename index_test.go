@@ -1,0 +1,211 @@
+package rrq
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// indexTestInstance builds a small synthetic dataset and a query over it.
+func indexTestInstance(t *testing.T, d int, seed int64) (*Dataset, Query) {
+	t.Helper()
+	ds := SyntheticDataset(Independent, 40, d, seed)
+	return ds, Query{Q: ds.RandomQuery(seed + 1), K: 3, Epsilon: 0.1}
+}
+
+// The public index must serve byte-identical regions to a from-scratch solve
+// with the skyband prefilter, before and after mutations.
+func TestIndexMatchesSolve(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		ds, q := indexTestInstance(t, d, int64(100*d))
+		ix, err := BuildIndex(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Version() != 1 || ix.Len() != ds.Len() || ix.Dim() != d {
+			t.Fatalf("fresh index: version=%d len=%d dim=%d", ix.Version(), ix.Len(), ix.Dim())
+		}
+
+		check := func(cur *Dataset) {
+			t.Helper()
+			got, err := ix.Solve(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := SolveContext(context.Background(), cur, q, WithSkybandPrefilter(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gb, _ := got.MarshalJSON()
+			wb, _ := res.Region.MarshalJSON()
+			if !bytes.Equal(gb, wb) {
+				t.Fatalf("d=%d: index-served region differs from fresh solve\n got: %s\nwant: %s", d, gb, wb)
+			}
+		}
+		check(ds)
+
+		rng := rand.New(rand.NewSource(int64(7 * d)))
+		raw := make([][]float64, ds.Len())
+		for i := range raw {
+			raw[i] = ds.PointAt(i)
+		}
+		for op := 0; op < 10; op++ {
+			if rng.Intn(3) == 0 && len(raw) > 5 {
+				i := rng.Intn(len(raw))
+				if _, err := ix.Delete(i); err != nil {
+					t.Fatal(err)
+				}
+				raw = append(raw[:i:i], raw[i+1:]...)
+			} else {
+				p := make(Point, d)
+				for j := range p {
+					p[j] = 0.05 + 0.9*rng.Float64()
+				}
+				if _, err := ix.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+				raw = append(raw, p)
+			}
+			cur, err := NewDataset(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(cur)
+		}
+		if want := uint64(11); ix.Version() != want {
+			t.Fatalf("version = %d after 10 mutations, want %d", ix.Version(), want)
+		}
+	}
+}
+
+// Rank-tree serving may re-partition the region but must not change
+// membership, and must silently fall back for K beyond the tree's ceiling.
+func TestIndexRankTreeServing(t *testing.T) {
+	ds, q := indexTestInstance(t, 3, 900)
+	ix, err := BuildIndex(ds, WithRankTreeServing(true), WithKmax(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Kmax() != 4 {
+		t.Fatalf("Kmax = %d, want 4", ix.Kmax())
+	}
+	plain, err := BuildIndex(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ix.Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := plain.Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 200; i++ {
+		u := tr.Sample(i)
+		if u == nil {
+			break
+		}
+		if !pr.Contains(u) {
+			t.Fatalf("tree-served sample %v not in solver-served region", u)
+		}
+	}
+	for i := int64(1); i <= 200; i++ {
+		u := pr.Sample(i)
+		if u == nil {
+			break
+		}
+		if !tr.Contains(u) {
+			t.Fatalf("solver-served sample %v not in tree-served region", u)
+		}
+	}
+
+	// K beyond kmax must fall back to the solver path, not fail.
+	big := q
+	big.K = 6
+	fb, err := ix.Solve(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Solve(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbJSON, _ := fb.MarshalJSON()
+	wantJSON, _ := want.MarshalJSON()
+	if !bytes.Equal(fbJSON, wantJSON) {
+		t.Fatalf("K>kmax fallback differs from solver path")
+	}
+}
+
+// Save/LoadIndex must round-trip the epoch, the shape and the answers
+// through the public API.
+func TestIndexSaveLoadPublic(t *testing.T) {
+	ds, q := indexTestInstance(t, 3, 321)
+	ix, err := BuildIndex(ds, WithKmax(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Insert(ds.RandomQuery(99)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version() != ix.Version() || back.Len() != ix.Len() || back.Dim() != ix.Dim() || back.Kmax() != ix.Kmax() {
+		t.Fatalf("round-trip mismatch: got v=%d len=%d dim=%d kmax=%d", back.Version(), back.Len(), back.Dim(), back.Kmax())
+	}
+	a, err := ix.Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := a.MarshalJSON()
+	bj, _ := b.MarshalJSON()
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("loaded index answers differently")
+	}
+	if v, err := back.Insert(ds.RandomQuery(100)); err != nil || v != ix.Version()+1 {
+		t.Fatalf("post-load insert: v=%d err=%v, want v=%d", v, err, ix.Version()+1)
+	}
+}
+
+// SolveBatch over an index pins the whole batch to one snapshot and carries
+// the index observability counters.
+func TestIndexSolveBatchAndMetrics(t *testing.T) {
+	ds, q := indexTestInstance(t, 3, 555)
+	reg := NewRegistry()
+	ix, err := BuildIndex(ds, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{q, q, {Q: ds.RandomQuery(7), K: 2, Epsilon: 0.05}}
+	report, err := ix.SolveBatch(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Solved != len(queries) || report.Failed != 0 {
+		t.Fatalf("batch: solved=%d failed=%d", report.Solved, report.Failed)
+	}
+	if _, err := ix.Insert(ds.RandomQuery(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	text := reg.Text()
+	for _, want := range []string{"index.builds", "index.epoch", "index.inserts", "index.deletes", "index.planes.miss"} {
+		if !bytes.Contains([]byte(text), []byte(want)) {
+			t.Errorf("metric %q missing from registry exposition:\n%s", want, text)
+		}
+	}
+}

@@ -96,7 +96,7 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 	}
 	scale := 1 - q.Eps
 	// Classify each plane's normal component-wise up front, mirroring
-	// buildPlanes: a plane that is never negative over U — including the
+	// BuildPlanes: a plane that is never negative over U — including the
 	// degenerate zero normal from q = (1−ε)p — contributes 0 to every
 	// sample's D⁻ by the system-wide contract (see QueryPlane). Deciding
 	// such planes by the raw utility difference instead would let rounding

@@ -21,22 +21,32 @@ func BruteForce2D(pts []vec.Vec, q Query) (*Region, error) {
 // BruteForce2DContext is BruteForce2D under a context with work counters;
 // cancellation is observed once per enumerated partition.
 func BruteForce2DContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stats, error) {
+	if q.Q.Dim() != 2 {
+		return nil, Stats{}, fmt.Errorf("core: BruteForce2D requires d = 2, got %d", q.Q.Dim())
+	}
+	if err := ValidateInstance(pts, q); err != nil {
+		return nil, Stats{}, err
+	}
+	return brute2DSolve(ctx, pts, q, nil)
+}
+
+// brute2DSolve is the 2-d enumeration body shared by the validated entry
+// points; src, when non-nil, serves the (read-only) classified plane set
+// from shared storage.
+func brute2DSolve(ctx context.Context, pts []vec.Vec, q Query, src PlaneSource) (*Region, Stats, error) {
 	var st Stats
 	if q.Q.Dim() != 2 {
 		return nil, st, fmt.Errorf("core: BruteForce2D requires d = 2, got %d", q.Q.Dim())
-	}
-	if err := ValidateInstance(pts, q); err != nil {
-		return nil, st, err
 	}
 	check := NewCtxChecker(ctx, 0xff)
 	check.SetFaultKey(q.Q)
 	if check.Failed() {
 		return nil, st, check.Err()
 	}
-	ps := buildPlanes(pts, q)
-	st.PlanesBuilt = len(ps.crossing)
+	ps := planesFor(src, pts, q)
+	st.PlanesBuilt = len(ps.Crossing)
 	check.Emit(obs.EvPlaneBuilt, st.PlanesBuilt)
-	k := ps.kEff(q.K)
+	k := ps.KEff(q.K)
 	if k <= 0 {
 		check.Emit(obs.EvPlanePruned, st.PlanesBuilt)
 		return emptyRegion(2), st, nil
@@ -44,7 +54,7 @@ func BruteForce2DContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, 
 	// Every crossing plane enters the enumeration; nothing is pruned.
 	st.PlanesInserted = st.PlanesBuilt
 	cuts := []float64{0, 1}
-	for _, h := range ps.crossing {
+	for _, h := range ps.Crossing {
 		w := h.Normal
 		cuts = append(cuts, w[1]/(w[1]-w[0]))
 	}
@@ -62,7 +72,7 @@ func BruteForce2DContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, 
 		mid := (a + b) / 2
 		u := vec.Of(mid, 1-mid)
 		neg := 0
-		for _, h := range ps.crossing {
+		for _, h := range ps.Crossing {
 			if h.Eval(u) < 0 {
 				neg++
 			}
@@ -92,23 +102,30 @@ func BruteForceND(pts []vec.Vec, q Query, maxPlanes int) (*Region, error) {
 // BruteForceNDContext is BruteForceND under a context with work counters;
 // cancellation is observed with an amortized check per cell/plane pair.
 func BruteForceNDContext(ctx context.Context, pts []vec.Vec, q Query, maxPlanes int) (*Region, Stats, error) {
+	if err := ValidateInstance(pts, q); err != nil {
+		return nil, Stats{}, err
+	}
+	return bruteNDSolve(ctx, pts, q, maxPlanes, nil)
+}
+
+// bruteNDSolve is the arrangement-materializing body shared by the
+// validated entry points; src, when non-nil, serves the (read-only)
+// classified plane set from shared storage.
+func bruteNDSolve(ctx context.Context, pts []vec.Vec, q Query, maxPlanes int, src PlaneSource) (*Region, Stats, error) {
 	var st Stats
 	d := q.Q.Dim()
-	if err := ValidateInstance(pts, q); err != nil {
-		return nil, st, err
-	}
 	check := NewCtxChecker(ctx, 0xff)
 	check.SetFaultKey(q.Q)
 	if check.Failed() {
 		return nil, st, check.Err()
 	}
-	ps := buildPlanes(pts, q)
-	st.PlanesBuilt = len(ps.crossing)
+	ps := planesFor(src, pts, q)
+	st.PlanesBuilt = len(ps.Crossing)
 	check.Emit(obs.EvPlaneBuilt, st.PlanesBuilt)
-	if len(ps.crossing) > maxPlanes {
-		return nil, st, fmt.Errorf("core: brute force limited to %d planes, have %d", maxPlanes, len(ps.crossing))
+	if len(ps.Crossing) > maxPlanes {
+		return nil, st, fmt.Errorf("core: brute force limited to %d planes, have %d", maxPlanes, len(ps.Crossing))
 	}
-	k := ps.kEff(q.K)
+	k := ps.KEff(q.K)
 	if k <= 0 {
 		check.Emit(obs.EvPlanePruned, st.PlanesBuilt)
 		return emptyRegion(d), st, nil
@@ -118,7 +135,7 @@ func BruteForceNDContext(ctx context.Context, pts []vec.Vec, q Query, maxPlanes 
 		neg  int
 	}
 	cells := []entry{{cell: geom.NewSimplex(d)}}
-	for _, h := range ps.crossing {
+	for _, h := range ps.Crossing {
 		st.PlanesInserted++
 		next := cells[:0:0]
 		for _, e := range cells {

@@ -4,7 +4,7 @@ package core
 // p = q/(1−ε) produces a plane h_{q,p} with an exactly-zero normal. The
 // system-wide contract (see geom.QueryPlane) is that such a plane
 // contributes 0 to the <k negative-half-space tally in every layer:
-// buildPlanes, CountBetter, every solver, and the A-PC sampler.
+// BuildPlanes, CountBetter, every solver, and the A-PC sampler.
 
 import (
 	"context"
@@ -45,7 +45,7 @@ func TestCountBetterSkipsDegeneratePlane(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		d := 2 + trial%4
 		pts, q := degenerateInstance(rng, 4+rng.Intn(8), d, []float64{0, 0.1, 0.3}[trial%3])
-		ps := buildPlanes(pts, q)
+		ps := BuildPlanes(pts, q)
 		for i := 0; i < 20; i++ {
 			u := vec.RandSimplex(rng, d)
 			count, margin := CountBetter(pts, q, u)
@@ -57,8 +57,8 @@ func TestCountBetterSkipsDegeneratePlane(t *testing.T) {
 				t.Fatalf("trial %d: margin %.3g poisoned by degenerate plane", trial, margin)
 			}
 			// Cross-check the count against the classified arrangement.
-			want := ps.base
-			for _, h := range ps.crossing {
+			want := ps.Base
+			for _, h := range ps.Crossing {
 				if h.Eval(u) < 0 {
 					want++
 				}
@@ -70,9 +70,9 @@ func TestCountBetterSkipsDegeneratePlane(t *testing.T) {
 	}
 }
 
-func h0margin(ps planeSet, u vec.Vec) float64 {
+func h0margin(ps PlaneSet, u vec.Vec) float64 {
 	m := math.Inf(1)
-	for _, h := range ps.crossing {
+	for _, h := range ps.Crossing {
 		if a := math.Abs(h.Eval(u)); a < m {
 			m = a
 		}

@@ -206,10 +206,19 @@ func (st *Stats) Add(other Stats) {
 // on each call: dimension validation and, when enabled, the k-skyband
 // prefilter, cached per k so that a batch of queries sharing a rank
 // parameter computes it once. A Prepared is safe for concurrent use.
+//
+// A Prepared built by PrepareIndexed instead delegates both the prefilter
+// and plane construction to an index snapshot: PointsFor serves the
+// snapshot's incrementally maintained k-skyband, and solvers draw their
+// classified plane sets from the snapshot's deduplicated storage rather
+// than rebuilding them per call.
 type Prepared struct {
 	pts     []vec.Vec
 	dim     int
 	skyband bool
+
+	pointsFor func(k int) []vec.Vec // optional index-backed prefilter
+	planes    PlaneSource           // optional shared plane storage
 
 	mu    sync.Mutex
 	bands map[int][]vec.Vec
@@ -238,6 +247,16 @@ func Prepare(pts []vec.Vec, dim int, skybandPrefilter bool) (*Prepared, error) {
 	return &Prepared{pts: pts, dim: dim, skyband: skybandPrefilter}, nil
 }
 
+// PrepareIndexed wraps an index snapshot's point storage as a Prepared
+// without re-validating: the snapshot validated every point when it was
+// built or mutated. pointsFor (non-nil) serves the snapshot's maintained
+// k-skyband; planes (may be nil) serves classified plane sets from the
+// snapshot's shared storage. Both must be safe for concurrent use, and the
+// plane sets they return are treated as read-only by every solver.
+func PrepareIndexed(pts []vec.Vec, dim int, pointsFor func(k int) []vec.Vec, planes PlaneSource) *Prepared {
+	return &Prepared{pts: pts, dim: dim, pointsFor: pointsFor, planes: planes}
+}
+
 // Dim returns the validated dataset dimension.
 func (p *Prepared) Dim() int { return p.dim }
 
@@ -249,8 +268,12 @@ func (p *Prepared) Len() int { return len(p.pts) }
 func (p *Prepared) Points() []vec.Vec { return p.pts }
 
 // PointsFor returns the point set a solver should run on for rank k: the
-// cached k-skyband when prefiltering is enabled, the full set otherwise.
+// index-maintained k-skyband for an indexed Prepared, the cached k-skyband
+// when prefiltering is enabled, the full set otherwise.
 func (p *Prepared) PointsFor(k int) []vec.Vec {
+	if p.pointsFor != nil {
+		return p.pointsFor(k)
+	}
 	if !p.skyband || k < 1 {
 		return p.pts
 	}
@@ -272,9 +295,28 @@ func (p *Prepared) PointsFor(k int) []vec.Vec {
 // context.Canceled), fed from shared per-dataset preprocessing, and
 // reporting common work counters. Implementations must be stateless or
 // internally synchronized: SolveBatch calls Solve concurrently.
+//
+// The Prepared path validates the query against the prepared dimension and
+// trusts the points (validated once at Prepare / index-build time); the
+// free *Context functions re-validate the full instance on every call.
 type Solver interface {
 	Name() string
 	Solve(ctx context.Context, prep *Prepared, q Query) (*Region, Stats, error)
+}
+
+// validatePrepared checks q for a Prepared-path solve: intrinsic validity
+// first (against the query's own dimension, so a malformed query point
+// reports field "q"), then the match against the prepared dataset dimension
+// (field "dim") — the same error precedence the free *Context functions
+// produce through ValidateInstance.
+func validatePrepared(q Query, dim int) error {
+	if err := q.Validate(q.Q.Dim()); err != nil {
+		return err
+	}
+	if q.Q.Dim() != dim {
+		return errDimMismatch(dim, q.Q.Dim())
+	}
+	return nil
 }
 
 // SweepingSolver answers 2-d queries with the linear-time sweep (§4).
@@ -283,7 +325,10 @@ type SweepingSolver struct{}
 func (SweepingSolver) Name() string { return "Sweeping" }
 
 func (SweepingSolver) Solve(ctx context.Context, prep *Prepared, q Query) (*Region, Stats, error) {
-	return SweepingContext(ctx, prep.PointsFor(q.K), q)
+	if err := validatePrepared(q, prep.dim); err != nil {
+		return nil, Stats{}, err
+	}
+	return sweepSolve(ctx, prep.PointsFor(q.K), q, prep.planes)
 }
 
 // EPTSolver answers queries exactly with the partition tree (§5.1).
@@ -294,7 +339,10 @@ type EPTSolver struct {
 func (EPTSolver) Name() string { return "E-PT" }
 
 func (s EPTSolver) Solve(ctx context.Context, prep *Prepared, q Query) (*Region, Stats, error) {
-	return EPTContext(ctx, prep.PointsFor(q.K), q, s.Opt)
+	if err := validatePrepared(q, prep.dim); err != nil {
+		return nil, Stats{}, err
+	}
+	return eptSolve(ctx, prep.PointsFor(q.K), q, s.Opt, prep.planes)
 }
 
 // APCSolver answers queries approximately by progressive construction
@@ -320,15 +368,18 @@ type BruteForceSolver struct {
 func (BruteForceSolver) Name() string { return "BruteForce" }
 
 func (s BruteForceSolver) Solve(ctx context.Context, prep *Prepared, q Query) (*Region, Stats, error) {
+	if err := validatePrepared(q, prep.dim); err != nil {
+		return nil, Stats{}, err
+	}
 	pts := prep.PointsFor(q.K)
 	if prep.Dim() == 2 {
-		return BruteForce2DContext(ctx, pts, q)
+		return brute2DSolve(ctx, pts, q, prep.planes)
 	}
 	maxPlanes := s.MaxPlanes
 	if maxPlanes <= 0 {
 		maxPlanes = 64
 	}
-	return BruteForceNDContext(ctx, pts, q, maxPlanes)
+	return bruteNDSolve(ctx, pts, q, maxPlanes, prep.planes)
 }
 
 // BatchOutcome is one query's result within a batch: the answer, the work

@@ -69,11 +69,19 @@ func EPTWithOptions(pts []vec.Vec, q Query, opt EPTOptions) (*Region, Stats, err
 // and metrics registries attached to ctx (see internal/obs) receive the
 // solve's work events and phase timings.
 func EPTContext(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions) (*Region, Stats, error) {
+	if err := ValidateInstance(pts, q); err != nil {
+		return nil, Stats{}, err
+	}
+	return eptSolve(ctx, pts, q, opt, nil)
+}
+
+// eptSolve is the E-PT body shared by the validated entry points. src, when
+// non-nil, serves the classified plane set from shared (index-owned)
+// storage; the set is then treated as read-only — any path that would
+// reorder or repack it copies the slice first.
+func eptSolve(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions, src PlaneSource) (*Region, Stats, error) {
 	var st Stats
 	d := q.Q.Dim()
-	if err := ValidateInstance(pts, q); err != nil {
-		return nil, st, err
-	}
 	check := NewCtxChecker(ctx, 0xfff)
 	check.SetFaultKey(q.Q)
 	if check.Failed() {
@@ -81,19 +89,25 @@ func EPTContext(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions) (*R
 	}
 	planePhase := check.Phase("phase.ept.planes")
 	defer planePhase()
-	ps := buildPlanes(pts, q)
-	st.PlanesBuilt = len(ps.crossing)
+	ps := planesFor(src, pts, q)
+	st.PlanesBuilt = len(ps.Crossing)
 	check.Emit(obs.EvPlaneBuilt, st.PlanesBuilt)
-	k := ps.kEff(q.K)
+	k := ps.KEff(q.K)
 	if k <= 0 {
 		planePhase()
 		check.Emit(obs.EvPlanePruned, st.PlanesBuilt)
 		return emptyRegion(d), st, nil
 	}
 
-	planes := ps.crossing
+	planes := ps.Crossing
 	if !opt.NoReduction || !opt.NoOrdering {
-		planes = reduceAndOrderPlanesOpt(ps.crossing, k, opt.NoReduction, opt.NoOrdering)
+		planes = reduceAndOrderPlanesOpt(ps.Crossing, k, opt.NoReduction, opt.NoOrdering)
+	} else if src != nil {
+		// Both ablations off the reduction path would pack the cached slice
+		// itself; shared plane storage is read-only, so copy the headers
+		// (PackNormals rebinds each entry's backing array, it does not write
+		// through the old one).
+		planes = append([]geom.Hyperplane(nil), ps.Crossing...)
 	}
 	// Repack the surviving normals into one flat block: every relation test
 	// of the insert phase streams over these, and after the reduction the

@@ -43,13 +43,13 @@ func TestLemma41InclusiveCutoff(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 40; trial++ {
 		pts, q := randomInstance(rng, 25, 2)
-		ps := buildPlanes(pts, q)
-		k := ps.kEff(q.K)
+		ps := BuildPlanes(pts, q)
+		k := ps.KEff(q.K)
 		if k <= 0 {
 			continue
 		}
 		var incl []float64
-		for _, h := range ps.crossing {
+		for _, h := range ps.Crossing {
 			w := h.Normal
 			if w[0] < 0 {
 				incl = append(incl, w[1]/(w[1]-w[0]))
@@ -84,13 +84,13 @@ func TestLemma42WindowPlaneCount(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 40; trial++ {
 		pts, q := randomInstance(rng, 120, 2)
-		ps := buildPlanes(pts, q)
-		k := ps.kEff(q.K)
+		ps := BuildPlanes(pts, q)
+		k := ps.KEff(q.K)
 		if k <= 0 {
 			continue
 		}
 		var incl, excl []float64
-		for _, h := range ps.crossing {
+		for _, h := range ps.Crossing {
 			w := h.Normal
 			tt := w[1] / (w[1] - w[0])
 			if w[0] < 0 {
@@ -360,21 +360,21 @@ func TestReductionMatchesQuadraticDominance(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		d := 2 + rng.Intn(3)
 		pts, q := randomInstance(rng, 60, d)
-		ps := buildPlanes(pts, q)
-		k := ps.kEff(q.K)
-		if k <= 0 || len(ps.crossing) == 0 {
+		ps := BuildPlanes(pts, q)
+		k := ps.KEff(q.K)
+		if k <= 0 || len(ps.Crossing) == 0 {
 			continue
 		}
-		kept := reduceAndOrderPlanes(ps.crossing, k)
+		kept := reduceAndOrderPlanes(ps.Crossing, k)
 		keptIDs := map[int]bool{}
 		for _, h := range kept {
 			keptIDs[h.ID] = true
 		}
 		// Quadratic check: a plane is kept iff strictly dominated (in the
 		// reversed order of Lemma 5.2) by fewer than k planes.
-		for _, h := range ps.crossing {
+		for _, h := range ps.Crossing {
 			domCount := 0
-			for _, g := range ps.crossing {
+			for _, g := range ps.Crossing {
 				if g.ID != h.ID && skyband.Dominates(h.Unit(), g.Unit()) {
 					domCount++
 				}

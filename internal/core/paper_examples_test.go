@@ -61,12 +61,12 @@ func TestExample36PartitionCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Compute the three crossing parameters to locate the partitions.
-	ps := buildPlanes(pts, q)
-	if len(ps.crossing) != 3 || ps.base != 0 {
-		t.Fatalf("planes: crossing=%d base=%d, want 3,0", len(ps.crossing), ps.base)
+	ps := BuildPlanes(pts, q)
+	if len(ps.Crossing) != 3 || ps.Base != 0 {
+		t.Fatalf("planes: crossing=%d base=%d, want 3,0", len(ps.Crossing), ps.Base)
 	}
 	var ts []float64
-	for _, h := range ps.crossing {
+	for _, h := range ps.Crossing {
 		w := h.Normal
 		ts = append(ts, w[1]/(w[1]-w[0]))
 	}

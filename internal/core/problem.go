@@ -82,6 +82,21 @@ func validatePoint(i int, p vec.Vec) *DataError {
 	return nil
 }
 
+// CheckPoint validates one prospective dataset point against the solver
+// domain: dimension dim, finite and strictly positive attributes. A failure
+// is always a *DataError reporting index i — the same error the batch
+// Prepare path returns, so index mutations and dataset construction speak
+// one vocabulary.
+func CheckPoint(i int, p vec.Vec, dim int) error {
+	if p.Dim() != dim {
+		return dataErrf(i, -1, "dimension %d, want %d", p.Dim(), dim)
+	}
+	if de := validatePoint(i, p); de != nil {
+		return de
+	}
+	return nil
+}
+
 // Validate checks the query against the dataset dimension d: the query
 // point must be d-dimensional (d ≥ 2) and finite, k ≥ 1 and ε ∈ [0,1).
 // The single validation authority for every entry point — solvers, the
@@ -186,7 +201,7 @@ func RegretRatio(pts []vec.Vec, q Query, u vec.Vec) float64 {
 // skip utility vectors that sit numerically on a boundary.
 //
 // Each point is classified component-wise with geom.Tol exactly as
-// buildPlanes classifies its plane, so this oracle and every solver agree
+// BuildPlanes classifies its plane, so this oracle and every solver agree
 // on degenerate inputs: a plane whose normal q − (1−ε)p is ≥ 0 within
 // tolerance (including the exactly-zero normal from q = (1−ε)p) never
 // counts, one that is ≤ 0 within tolerance always counts, and only the
@@ -238,19 +253,36 @@ func QualifiedAt(pts []vec.Vec, q Query, u vec.Vec) bool {
 	return c < q.K
 }
 
-// planeSet is the preprocessed hyper-plane arrangement input shared by the
-// solvers.
-type planeSet struct {
-	d        int
-	crossing []geom.Hyperplane // planes whose negative half-space cuts U properly
-	base     int               // planes whose negative half-space covers all of U
+// PlaneSet is the preprocessed hyper-plane arrangement input shared by the
+// solvers. It is immutable once built: solvers that need to reorder or
+// repack the crossing planes copy the slice first, so one PlaneSet can be
+// cached by an index snapshot and served to any number of concurrent
+// queries.
+type PlaneSet struct {
+	Crossing []geom.Hyperplane // planes whose negative half-space cuts U properly
+	Base     int               // planes whose negative half-space covers all of U
 }
 
-// kEff returns the effective budget k − base. When ≤ 0 the whole utility
+// KEff returns the effective budget k − Base. When ≤ 0 the whole utility
 // space is disqualified.
-func (ps planeSet) kEff(k int) int { return k - ps.base }
+func (ps PlaneSet) KEff(k int) int { return k - ps.Base }
 
-// buildPlanes constructs h_{q,p} for every p ∈ pts and classifies it:
+// PlaneSource supplies the classified plane set for a query over pts. A
+// non-nil source on a Prepared replaces the per-call BuildPlanes, letting
+// an index snapshot deduplicate plane construction across queries; the
+// returned set must be treated as shared and read-only.
+type PlaneSource func(pts []vec.Vec, q Query) PlaneSet
+
+// planesFor resolves the plane set through src when present, else builds it
+// fresh.
+func planesFor(src PlaneSource, pts []vec.Vec, q Query) PlaneSet {
+	if src != nil {
+		return src(pts, q)
+	}
+	return BuildPlanes(pts, q)
+}
+
+// BuildPlanes constructs h_{q,p} for every p ∈ pts and classifies it:
 //
 //   - normal ≥ 0 component-wise: the negative half-space misses U entirely;
 //     the plane can never count against q and is dropped;
@@ -261,12 +293,12 @@ func (ps planeSet) kEff(k int) int { return k - ps.base }
 //
 // Plane IDs are the indices of the source points, which keeps them unique
 // within the arrangement as the geometry package requires.
-func buildPlanes(pts []vec.Vec, q Query) planeSet {
-	ps := planeSet{d: q.Q.Dim()}
+func BuildPlanes(pts []vec.Vec, q Query) PlaneSet {
+	var ps PlaneSet
 	scale := 1 - q.Eps
 	// One scratch normal reused across points: NewHyperplane stores a
 	// normalized copy, so only crossing planes cost an allocation.
-	w := vec.New(ps.d)
+	w := vec.New(q.Q.Dim())
 	for i, p := range pts {
 		neg, pos := false, false
 		for j := range w {
@@ -282,9 +314,9 @@ func buildPlanes(pts []vec.Vec, q Query) planeSet {
 		case !neg:
 			// Never negative over U (includes the degenerate zero normal).
 		case !pos:
-			ps.base++
+			ps.Base++
 		default:
-			ps.crossing = append(ps.crossing, geom.NewHyperplane(w, i))
+			ps.Crossing = append(ps.Crossing, geom.NewHyperplane(w, i))
 		}
 	}
 	return ps

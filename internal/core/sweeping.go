@@ -30,12 +30,22 @@ func Sweeping(pts []vec.Vec, q Query) (*Region, error) {
 // sweep is linear, so cancellation is observed once before the scan and
 // once before the event sweep rather than per element.
 func SweepingContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stats, error) {
+	if q.Q.Dim() != 2 {
+		return nil, Stats{}, fmt.Errorf("core: Sweeping requires d = 2, got %d", q.Q.Dim())
+	}
+	if err := ValidateInstance(pts, q); err != nil {
+		return nil, Stats{}, err
+	}
+	return sweepSolve(ctx, pts, q, nil)
+}
+
+// sweepSolve is the sweep body shared by the validated entry points; src,
+// when non-nil, serves the (read-only) classified plane set from shared
+// storage.
+func sweepSolve(ctx context.Context, pts []vec.Vec, q Query, src PlaneSource) (*Region, Stats, error) {
 	var st Stats
 	if q.Q.Dim() != 2 {
 		return nil, st, fmt.Errorf("core: Sweeping requires d = 2, got %d", q.Q.Dim())
-	}
-	if err := ValidateInstance(pts, q); err != nil {
-		return nil, st, err
 	}
 	check := NewCtxChecker(ctx, 0)
 	check.SetFaultKey(q.Q)
@@ -44,11 +54,11 @@ func SweepingContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stat
 	}
 	planePhase := check.Phase("phase.sweep.planes")
 	defer planePhase()
-	ps := buildPlanes(pts, q)
+	ps := planesFor(src, pts, q)
 	planePhase()
-	st.PlanesBuilt = len(ps.crossing)
+	st.PlanesBuilt = len(ps.Crossing)
 	check.Emit(obs.EvPlaneBuilt, st.PlanesBuilt)
-	k := ps.kEff(q.K)
+	k := ps.KEff(q.K)
 	if k <= 0 {
 		check.Emit(obs.EvPlanePruned, st.PlanesBuilt)
 		return emptyRegion(2), st, nil
@@ -58,7 +68,7 @@ func SweepingContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stat
 
 	// Crossing parameters on L: u·w = 0 at t* = w2 / (w2 − w1).
 	var incl, excl []float64
-	for _, h := range ps.crossing {
+	for _, h := range ps.Crossing {
 		w := h.Normal
 		t := w[1] / (w[1] - w[0])
 		if w[0] < 0 {

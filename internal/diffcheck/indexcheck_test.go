@@ -1,0 +1,36 @@
+package diffcheck
+
+import "testing"
+
+// TestIndexDifferentialSweep is the index acceptance gate: across the full
+// corpus, index-served solves must be byte-identical to from-scratch solves,
+// before and after every step of an interleaved Insert/Delete stream.
+func TestIndexDifferentialSweep(t *testing.T) {
+	rep := RunIndex(Config{Seed: 20240805})
+
+	if rep.Problems < 200 {
+		t.Fatalf("ran %d problems, want ≥ 200", rep.Problems)
+	}
+	if want := rep.Problems * MutationsPerProblem; rep.Mutations != want {
+		t.Errorf("applied %d mutations, want %d", rep.Mutations, want)
+	}
+	if want := rep.Problems * (MutationsPerProblem + 1); rep.Solves != want {
+		t.Errorf("compared %d solve pairs, want %d", rep.Solves, want)
+	}
+	for i, m := range rep.Mismatches {
+		if i >= 5 {
+			t.Errorf("... and %d more mismatches", len(rep.Mismatches)-5)
+			break
+		}
+		t.Errorf("mismatch:\n%s", m.JSON())
+	}
+}
+
+// TestRunIndexDeterminism: identical configs must produce identical reports.
+func TestRunIndexDeterminism(t *testing.T) {
+	cfg := Config{Seed: 11, Problems: 24}
+	a, b := RunIndex(cfg), RunIndex(cfg)
+	if a.Problems != b.Problems || a.Solves != b.Solves || a.Mutations != b.Mutations || len(a.Mismatches) != len(b.Mismatches) {
+		t.Fatalf("reports differ across identical runs: %+v vs %+v", a, b)
+	}
+}

@@ -5,12 +5,14 @@ package expt
 // and a sensitivity sweep of the user study's regret threshold.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"rrq/internal/core"
 	"rrq/internal/dataset"
+	"rrq/internal/index"
 	"rrq/internal/study"
 	"rrq/internal/vec"
 )
@@ -60,8 +62,9 @@ func ExtAblation(sc Scale) []*Table {
 	return []*Table{t}
 }
 
-// ExtDynamic compares maintaining a region under insertions (core.Dynamic)
-// against re-solving from scratch after every insertion.
+// ExtDynamic compares maintaining a region under insertions through the
+// snapshot index (delta-maintained preprocessing, solve per epoch) against
+// re-solving fully from scratch after every insertion.
 func ExtDynamic(sc Scale) []*Table {
 	sc = sc.withDefaults()
 	rng := rand.New(rand.NewSource(sc.Seed))
@@ -77,16 +80,19 @@ func ExtDynamic(sc Scale) []*Table {
 			newPts = append(newPts, dataset.RandQuery(rng, pts))
 		}
 
-		dyn, err := core.NewDynamic(in.pts, q)
+		ix, err := index.Build(in.pts, 3, index.Options{Kmax: q.K})
 		if err != nil {
 			panic(err)
 		}
+		solver := core.EPTSolver{}
 		start := time.Now()
 		for _, p := range newPts {
-			if err := dyn.Insert(p); err != nil {
+			if _, err := ix.Insert(p); err != nil {
 				panic(err)
 			}
-			dyn.Region()
+			if _, _, err := solver.Solve(context.Background(), ix.Snapshot().Prepared(nil), q); err != nil {
+				panic(err)
+			}
 		}
 		incSecs := time.Since(start).Seconds()
 

@@ -1,0 +1,314 @@
+// Package index implements the served reverse-regret-query index: an
+// immutable, version-stamped snapshot of a dataset together with the
+// preprocessing every query used to rebuild from scratch — the exact
+// dominator counts that answer any k-skyband prefilter, a deduplicated
+// store of classified plane sets shared across queries, and the rank-level
+// tree generalized from the PBA+ baseline.
+//
+// Mutations follow a copy-on-write epoch discipline: Insert and Delete
+// build the next snapshot beside the current one and publish it with a
+// single atomic pointer swap, so concurrent readers keep serving the epoch
+// they loaded, race-free, for as long as they hold it. The k-skyband is
+// maintained by delta: a snapshot stores the exact number of dominators of
+// every point (not a count capped at some k), so an insertion only scans
+// the new point against the dataset and a deletion only decrements the
+// counts of the points the removed one dominated — membership in any
+// k-skyband then is one comparison per point. Per-query derived state
+// (plane sets, rank tree) is invalidated lazily: a new epoch simply starts
+// with empty caches and rebuilds entries on first use.
+//
+// This package absorbs and retires core.Dynamic: where Dynamic re-ran the
+// full arrangement walk after a deletion, an index snapshot re-serves the
+// query through the maintained prefilter and shared plane storage, and any
+// number of standing queries amortize the same maintenance work.
+package index
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"rrq/internal/core"
+	"rrq/internal/obs"
+	"rrq/internal/skyband"
+	"rrq/internal/vec"
+)
+
+// DefaultKmax is the rank ceiling of the snapshot rank tree when Options
+// leaves it zero. Queries with larger k still work — the exact dominator
+// counts answer any k-skyband — they just cannot be served by the tree.
+const DefaultKmax = 8
+
+// Options configures an index build.
+type Options struct {
+	// Kmax is the highest rank the snapshot rank tree supports (default
+	// DefaultKmax). It does not bound Solve's k: the skyband prefilter and
+	// plane storage work for any k.
+	Kmax int
+	// TreeNodes is the rank-tree node budget (0 = the rank-tree default).
+	// The tree is built lazily on first use; a build that exceeds the
+	// budget is remembered as unavailable for the snapshot's lifetime.
+	TreeNodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Kmax <= 0 {
+		o.Kmax = DefaultKmax
+	}
+	return o
+}
+
+// Index is the mutable handle over a sequence of immutable snapshots.
+// Readers call Snapshot (or the convenience accessors) and never block;
+// writers are serialized by a mutex and publish each new epoch atomically.
+type Index struct {
+	opts Options
+
+	mu   sync.Mutex // serializes Insert/Delete
+	snap atomic.Pointer[Snapshot]
+}
+
+// Snapshot is one immutable epoch: the validated points, their exact
+// dominator counts, and lazily materialized derived state (per-k skyband
+// views, classified plane sets, the rank tree). All lazily built state is
+// internally synchronized, so one snapshot serves any number of concurrent
+// queries.
+type Snapshot struct {
+	version uint64
+	dim     int
+	opts    Options
+	pts     []vec.Vec // immutable
+	dom     []int     // exact dominator count per point; immutable
+
+	mu     sync.Mutex
+	bands  map[int][]vec.Vec
+	planes map[string]core.PlaneSet
+
+	treeMu   sync.Mutex
+	tree     *RankTree
+	treeErr  error
+	treeDone bool
+}
+
+// maxPlaneCache bounds the per-snapshot plane store; queries beyond it
+// build planes without caching (the region is unaffected).
+const maxPlaneCache = 1024
+
+// Build validates pts and constructs the first epoch. The points are
+// copied; the caller keeps ownership of its slice.
+func Build(pts []vec.Vec, dim int, opts Options) (*Index, error) {
+	if dim < 2 {
+		return nil, fmt.Errorf("index: dimension %d < 2", dim)
+	}
+	opts = opts.withDefaults()
+	cl := make([]vec.Vec, len(pts))
+	for i, p := range pts {
+		if err := core.CheckPoint(i, p, dim); err != nil {
+			return nil, err
+		}
+		cl[i] = p.Clone()
+	}
+	ix := &Index{opts: opts}
+	ix.snap.Store(newSnapshot(1, dim, opts, cl, skyband.DominatorCounts(cl)))
+	return ix, nil
+}
+
+func newSnapshot(version uint64, dim int, opts Options, pts []vec.Vec, dom []int) *Snapshot {
+	return &Snapshot{version: version, dim: dim, opts: opts, pts: pts, dom: dom}
+}
+
+// Snapshot returns the current epoch. The returned value stays valid (and
+// immutable) regardless of later mutations.
+func (ix *Index) Snapshot() *Snapshot { return ix.snap.Load() }
+
+// Version returns the current epoch number (1 after Build, +1 per
+// mutation).
+func (ix *Index) Version() uint64 { return ix.snap.Load().version }
+
+// Dim returns the dataset dimension.
+func (ix *Index) Dim() int { return ix.snap.Load().dim }
+
+// Len returns the current dataset size.
+func (ix *Index) Len() int { return len(ix.snap.Load().pts) }
+
+// Kmax returns the rank ceiling of the snapshot rank trees.
+func (ix *Index) Kmax() int { return ix.opts.Kmax }
+
+// Insert validates p and publishes a new epoch containing it. The dominator
+// counts are maintained by delta: one scan of the dataset classifies p and
+// bumps the counts of the points p dominates. Returns the new version.
+func (ix *Index) Insert(p vec.Vec) (uint64, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	old := ix.snap.Load()
+	if err := core.CheckPoint(len(old.pts), p, old.dim); err != nil {
+		return old.version, err
+	}
+	n := len(old.pts)
+	pts := make([]vec.Vec, n+1)
+	copy(pts, old.pts)
+	pts[n] = p.Clone()
+	dom := make([]int, n+1)
+	copy(dom, old.dom)
+	for i, x := range old.pts {
+		if skyband.Dominates(x, p) {
+			dom[n]++
+		}
+		if skyband.Dominates(p, x) {
+			dom[i]++
+		}
+	}
+	next := newSnapshot(old.version+1, old.dim, old.opts, pts, dom)
+	ix.snap.Store(next)
+	return next.version, nil
+}
+
+// Delete removes the point at index i (in insertion order) and publishes a
+// new epoch. Only the counts of points the removed one dominated change —
+// this is the delta that lets deletions keep serving instead of triggering
+// the from-scratch rebuild core.Dynamic needed.
+func (ix *Index) Delete(i int) (uint64, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	old := ix.snap.Load()
+	if i < 0 || i >= len(old.pts) {
+		return old.version, fmt.Errorf("index: delete index %d out of range [0,%d)", i, len(old.pts))
+	}
+	rm := old.pts[i]
+	pts := make([]vec.Vec, 0, len(old.pts)-1)
+	dom := make([]int, 0, len(old.pts)-1)
+	for j, x := range old.pts {
+		if j == i {
+			continue
+		}
+		c := old.dom[j]
+		if skyband.Dominates(rm, x) {
+			c--
+		}
+		pts = append(pts, x)
+		dom = append(dom, c)
+	}
+	next := newSnapshot(old.version+1, old.dim, old.opts, pts, dom)
+	ix.snap.Store(next)
+	return next.version, nil
+}
+
+// Version returns the snapshot's epoch number.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Dim returns the dataset dimension.
+func (s *Snapshot) Dim() int { return s.dim }
+
+// Len returns the snapshot's dataset size.
+func (s *Snapshot) Len() int { return len(s.pts) }
+
+// Points returns the snapshot's point set (shared, read-only).
+func (s *Snapshot) Points() []vec.Vec { return s.pts }
+
+// DominatorCounts returns the exact per-point dominator counts (shared,
+// read-only).
+func (s *Snapshot) DominatorCounts() []int { return s.dom }
+
+// PointsFor returns the k-skyband view of the snapshot: the points
+// dominated by fewer than k others, in input order — exactly the set and
+// order skyband.Select(pts, skyband.KSkyband(pts, k)) produces, but served
+// in one comparison per point from the maintained counts. Views are
+// memoized per k. k < 1 returns the full set, matching core.Prepared.
+func (s *Snapshot) PointsFor(k int) []vec.Vec {
+	if k < 1 {
+		return s.pts
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.bands[k]; ok {
+		return b
+	}
+	b := make([]vec.Vec, 0, len(s.pts))
+	for i, c := range s.dom {
+		if c < k {
+			b = append(b, s.pts[i])
+		}
+	}
+	if s.bands == nil {
+		s.bands = make(map[int][]vec.Vec)
+	}
+	s.bands[k] = b
+	return b
+}
+
+// planeKey encodes the query parameters a classified plane set depends on:
+// the query point, ε and k (k selects the prefiltered band the planes were
+// built over).
+func planeKey(q core.Query) string {
+	b := make([]byte, 0, 16+8*len(q.Q))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(q.K))
+	b = append(b, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(q.Eps))
+	b = append(b, tmp[:]...)
+	for _, x := range q.Q {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(x))
+		b = append(b, tmp[:]...)
+	}
+	return string(b)
+}
+
+// Prepared wraps the snapshot as a core.Prepared: solvers draw their point
+// sets from the maintained skyband and their classified plane sets from
+// the snapshot's deduplicated storage. reg, when non-nil, receives
+// index.planes.hit / index.planes.miss counters.
+func (s *Snapshot) Prepared(reg *obs.Registry) *core.Prepared {
+	src := func(pts []vec.Vec, q core.Query) core.PlaneSet {
+		key := planeKey(q)
+		s.mu.Lock()
+		ps, ok := s.planes[key]
+		s.mu.Unlock()
+		if ok {
+			if reg != nil {
+				reg.Counter("index.planes.hit").Inc()
+			}
+			return ps
+		}
+		ps = core.BuildPlanes(pts, q)
+		s.mu.Lock()
+		if s.planes == nil {
+			s.planes = make(map[string]core.PlaneSet)
+		}
+		if len(s.planes) < maxPlaneCache {
+			s.planes[key] = ps
+		}
+		s.mu.Unlock()
+		if reg != nil {
+			reg.Counter("index.planes.miss").Inc()
+		}
+		return ps
+	}
+	return core.PrepareIndexed(s.pts, s.dim, s.PointsFor, src)
+}
+
+// Tree returns the snapshot's rank-level tree, building it on first use
+// (over the kmax-skyband, under the configured node budget). A build that
+// exceeds its budget is memoized as unavailable for the snapshot — the
+// caller should serve through the ordinary solvers instead. A build
+// aborted by ctx is not memoized, so a later call may retry.
+func (s *Snapshot) Tree(ctx context.Context) (*RankTree, error) {
+	s.treeMu.Lock()
+	defer s.treeMu.Unlock()
+	if s.treeDone {
+		return s.tree, s.treeErr
+	}
+	if len(s.pts) == 0 {
+		s.treeDone = true
+		s.treeErr = fmt.Errorf("index: empty dataset has no rank tree")
+		return nil, s.treeErr
+	}
+	t, err := BuildRankTree(ctx, s.PointsFor(s.opts.Kmax), s.opts.Kmax, s.opts.TreeNodes, "index.ranktree")
+	if err != nil && (ctx.Err() != nil || err == core.ErrDeadline) {
+		return nil, err // transient: do not memoize a canceled build
+	}
+	s.tree, s.treeErr, s.treeDone = t, err, true
+	return s.tree, s.treeErr
+}

@@ -1,0 +1,72 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"rrq/internal/vec"
+)
+
+// persistFormat is bumped whenever the on-disk layout changes; Load rejects
+// unknown formats instead of misreading them.
+const persistFormat = 1
+
+// indexFile is the gob-encoded on-disk form of an index. Only the durable
+// inputs are stored — points, options and the epoch counter; dominator
+// counts and all per-snapshot derived state (skyband views, plane sets, the
+// rank tree) are recomputed on load, which keeps the file format independent
+// of cache internals.
+type indexFile struct {
+	Format  int
+	Version uint64
+	Dim     int
+	Kmax    int
+	Nodes   int
+	Pts     [][]float64
+}
+
+// Save writes the current snapshot to w. Concurrent mutations are safe: the
+// snapshot is captured once and is immutable.
+func (ix *Index) Save(w io.Writer) error {
+	s := ix.Snapshot()
+	f := indexFile{
+		Format:  persistFormat,
+		Version: s.version,
+		Dim:     s.dim,
+		Kmax:    s.opts.Kmax,
+		Nodes:   s.opts.TreeNodes,
+		Pts:     make([][]float64, len(s.pts)),
+	}
+	for i, p := range s.pts {
+		f.Pts[i] = p
+	}
+	return gob.NewEncoder(w).Encode(&f)
+}
+
+// Load reads an index previously written by Save, revalidates every point
+// and recomputes the dominator counts. The restored index resumes at the
+// saved epoch number, so versions stay monotone across a save/load cycle.
+func Load(r io.Reader) (*Index, error) {
+	var f indexFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	if f.Format != persistFormat {
+		return nil, fmt.Errorf("index: load: unknown format %d (want %d)", f.Format, persistFormat)
+	}
+	pts := make([]vec.Vec, len(f.Pts))
+	for i, p := range f.Pts {
+		pts[i] = vec.Vec(p)
+	}
+	ix, err := Build(pts, f.Dim, Options{Kmax: f.Kmax, TreeNodes: f.Nodes})
+	if err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	if f.Version < 1 {
+		return nil, fmt.Errorf("index: load: invalid version %d", f.Version)
+	}
+	s := ix.snap.Load()
+	s.version = f.Version
+	return ix, nil
+}

@@ -80,6 +80,38 @@ func Select(pts []vec.Vec, idx []int) []vec.Vec {
 	return out
 }
 
+// DominatorCounts returns, for each point, the exact number of points
+// dominating it, using the same descending attribute-sum order as KSkyband
+// to halve the candidate scan: a dominator's attribute sum is at least the
+// dominated point's, so only earlier points in the order can dominate.
+// Exact full counts (not capped at any k) are what the snapshot index
+// maintains incrementally: a deletion decrements counts, which a capped
+// count could not survive.
+func DominatorCounts(pts []vec.Vec) []int {
+	n := len(pts)
+	counts := make([]int, n)
+	order := make([]int, n)
+	sums := make([]float64, n)
+	for i, p := range pts {
+		order[i] = i
+		sums[i] = p.Sum()
+	}
+	sort.Slice(order, func(a, b int) bool { return sums[order[a]] > sums[order[b]] })
+	for oi, idx := range order {
+		p := pts[idx]
+		for oj := 0; oj < oi; oj++ {
+			if Dominates(pts[order[oj]], p) {
+				counts[idx]++
+			}
+		}
+		// Equal-sum points later in the order can still dominate only when
+		// they are duplicates — and a duplicate never dominates (no strict
+		// coordinate). Points with strictly smaller sums cannot dominate at
+		// all, so the prefix scan is complete.
+	}
+	return counts
+}
+
 // DominatorCount returns, for each point, the number of points dominating
 // it. Quadratic; intended for tests and small inputs.
 func DominatorCount(pts []vec.Vec) []int {

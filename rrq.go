@@ -29,6 +29,7 @@ import (
 	"rrq/internal/baseline"
 	"rrq/internal/core"
 	"rrq/internal/dataset"
+	"rrq/internal/index"
 	"rrq/internal/obs"
 	"rrq/internal/rms"
 	"rrq/internal/skyband"
@@ -239,6 +240,9 @@ type config struct {
 	queryTimeout time.Duration
 	workBudget   int64
 	fallbacks    []Algorithm
+	kmax         int
+	treeNodes    int
+	treeServe    bool
 }
 
 // obsContext attaches the configured trace hook and metrics registry to ctx
@@ -587,36 +591,74 @@ func (ix *PBAIndex) QueryContext(ctx context.Context, q Query, opts ...Option) (
 }
 
 // DynamicRegion maintains the answer to one query over a changing market —
-// the paper's stated future work. Insertions update the region
-// incrementally (a new product can only shrink it); deletions mark the
-// structure dirty and the next Region call rebuilds.
+// the paper's stated future work. It is a standing query over a snapshot
+// index: every mutation publishes a new epoch through the index's
+// delta-maintained preprocessing (no rebuild, for deletions included), and
+// Region re-solves lazily — at most once per epoch — against the epoch's
+// shared skyband and plane storage. For many standing queries over one
+// changing market, share a single Index and call Solve per query instead.
 type DynamicRegion struct {
-	inner *core.Dynamic
-	q     core.Query
+	ix *index.Index
+	q  core.Query
+
+	mu     sync.Mutex
+	ver    uint64
+	cached *Region
 }
 
 // NewDynamicRegion builds the initial answer for q over the dataset.
 func NewDynamicRegion(d *Dataset, q Query) (*DynamicRegion, error) {
 	cq := q.toCore()
-	dyn, err := core.NewDynamic(d.points(), cq)
+	// Intrinsic validity first (a malformed query point reports "q"), then
+	// the dataset-dimension match ("dim") — the shared entry-point precedence.
+	if err := cq.Validate(len(q.Q)); err != nil {
+		return nil, err
+	}
+	if len(q.Q) != d.Dim() {
+		return nil, &QueryError{Field: "dim", Msg: fmt.Sprintf("query dimension %d does not match dataset dimension %d", len(q.Q), d.Dim())}
+	}
+	ix, err := index.Build(d.points(), d.Dim(), index.Options{Kmax: q.K})
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicRegion{inner: dyn, q: cq}, nil
+	return &DynamicRegion{ix: ix, q: cq}, nil
 }
 
-// Insert adds a product to the market and updates the answer.
-func (dr *DynamicRegion) Insert(p Point) error { return dr.inner.Insert(vec.Vec(p)) }
+// Insert adds a product to the market; the answer updates on the next
+// Region call.
+func (dr *DynamicRegion) Insert(p Point) error {
+	_, err := dr.ix.Insert(vec.Vec(p))
+	return err
+}
 
 // Delete removes the i-th product (in insertion order).
-func (dr *DynamicRegion) Delete(i int) error { return dr.inner.Delete(i) }
+func (dr *DynamicRegion) Delete(i int) error {
+	_, err := dr.ix.Delete(i)
+	return err
+}
 
 // Len returns the current market size.
-func (dr *DynamicRegion) Len() int { return dr.inner.Len() }
+func (dr *DynamicRegion) Len() int { return dr.ix.Len() }
 
-// Region returns the current answer.
+// Region returns the current answer, re-solving only when the market
+// changed since the last call.
 func (dr *DynamicRegion) Region() *Region {
-	return &Region{inner: dr.inner.Region(), q: dr.q}
+	dr.mu.Lock()
+	defer dr.mu.Unlock()
+	snap := dr.ix.Snapshot()
+	if dr.cached != nil && dr.ver == snap.Version() {
+		return dr.cached
+	}
+	// The instance was validated at construction and every mutation
+	// revalidated its point, so with an unbounded background context the
+	// exact solver cannot fail.
+	r, _, err := (core.EPTSolver{}).Solve(context.Background(), snap.Prepared(nil), dr.q)
+	if err != nil {
+		panic(fmt.Sprintf("rrq: dynamic re-solve failed on a validated instance: %v", err))
+	}
+	dr.ver = snap.Version()
+	dr.cached = &Region{inner: r, q: dr.q}
+	return dr.cached
 }
 
 // DistType selects a synthetic data distribution.
