@@ -1,0 +1,240 @@
+package rrq
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// A cache hit must return the byte-identical region of the fresh solve,
+// and a mutation must invalidate it (version miss).
+func TestIndexResultCacheHitAndVersionMiss(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		ds, q := indexTestInstance(t, d, int64(300*d))
+		reg := NewRegistry()
+		ix, err := BuildIndex(ds, WithResultCache(16), WithMetrics(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		first, err := ix.SolveContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Cache != CacheMiss {
+			t.Fatalf("d=%d: first solve cache status = %v, want %v", d, first.Cache, CacheMiss)
+		}
+		second, err := ix.SolveContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.Cache != CacheHit {
+			t.Fatalf("d=%d: repeat solve cache status = %v, want %v", d, second.Cache, CacheHit)
+		}
+		fb, _ := first.Region.MarshalJSON()
+		sb, _ := second.Region.MarshalJSON()
+		if !bytes.Equal(fb, sb) {
+			t.Fatalf("d=%d: cache-served region differs from fresh solve\nfresh: %s\n  hit: %s", d, fb, sb)
+		}
+		if reg.Counter("cache.hit").Value() != 1 || reg.Counter("cache.miss").Value() != 1 {
+			t.Fatalf("d=%d: counters hit=%d miss=%d, want 1/1",
+				d, reg.Counter("cache.hit").Value(), reg.Counter("cache.miss").Value())
+		}
+
+		// Mutation publishes a new epoch: the old entry can never match.
+		if _, err := ix.Insert(ds.PointAt(0)); err != nil {
+			t.Fatal(err)
+		}
+		third, err := ix.SolveContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if third.Cache != CacheMiss {
+			t.Fatalf("d=%d: post-insert solve cache status = %v, want %v (version miss)", d, third.Cache, CacheMiss)
+		}
+		st := ix.Stats()
+		if st.Cache == nil {
+			t.Fatal("Stats().Cache nil with WithResultCache")
+		}
+		if st.Cache.Entries != 1 {
+			t.Fatalf("d=%d: cache entries after prune = %d, want 1", d, st.Cache.Entries)
+		}
+	}
+}
+
+// Bound serving: a cached tighter neighbor answers as a sound inner bound,
+// a looser one as an outer bound, and the result names its source.
+func TestIndexResultCacheBounds(t *testing.T) {
+	ds, q := indexTestInstance(t, 3, 777)
+	ix, err := BuildIndex(ds, WithResultCache(16), WithCacheBounds(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	tight := Query{Q: q.Q, K: q.K - 1, Epsilon: q.Epsilon / 2}
+	loose := Query{Q: q.Q, K: q.K + 1, Epsilon: q.Epsilon * 2}
+	tres, err := ix.SolveContext(ctx, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := ix.SolveContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Cache != CacheInner {
+		t.Fatalf("cache status = %v, want %v", inner.Cache, CacheInner)
+	}
+	if inner.CacheSource == nil || inner.CacheSource.K != tight.K || inner.CacheSource.Epsilon != tight.Epsilon {
+		t.Fatalf("inner bound source = %+v, want %+v", inner.CacheSource, tight)
+	}
+	// The served region is exactly the tighter query's answer.
+	ib, _ := inner.Region.MarshalJSON()
+	tb, _ := tres.Region.MarshalJSON()
+	if !bytes.Equal(ib, tb) {
+		t.Fatal("inner-bound region is not the cached neighbor's region")
+	}
+	// Soundness: every sampled member of the inner bound is in the true
+	// region.
+	truth, err := SolveContext(ctx, ds, q, WithSkybandPrefilter(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		if u := inner.Region.Sample(seed); u != nil && !truth.Region.Contains(u) {
+			t.Fatalf("inner bound contains non-member %v", u)
+		}
+	}
+
+	// Evict the tight entry's epoch relevance by building a fresh index
+	// with only the loose neighbor cached: the query then gets an outer
+	// bound.
+	ix2, err := BuildIndex(ds, WithResultCache(16), WithCacheBounds(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix2.SolveContext(ctx, loose); err != nil {
+		t.Fatal(err)
+	}
+	outer, err := ix2.SolveContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Cache != CacheOuter {
+		t.Fatalf("cache status = %v, want %v", outer.Cache, CacheOuter)
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		if u := truth.Region.Sample(seed); u != nil && !outer.Region.Contains(u) {
+			t.Fatalf("outer bound misses true member %v", u)
+		}
+	}
+}
+
+// ε=0 entries (reverse top-k answers) seed inner bounds for ε>0 queries on
+// the same point.
+func TestIndexCacheTopKSeedsRefinement(t *testing.T) {
+	ds, q := indexTestInstance(t, 3, 555)
+	ix, err := BuildIndex(ds, WithResultCache(16), WithCacheBounds(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	topk := Query{Q: q.Q, K: q.K, Epsilon: 0}
+	if _, err := ix.SolveContext(ctx, topk); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.SolveContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != CacheInner {
+		t.Fatalf("cache status = %v, want %v (ε=0 seed)", res.Cache, CacheInner)
+	}
+	if res.CacheSource == nil || res.CacheSource.Epsilon != 0 {
+		t.Fatalf("source = %+v, want the ε=0 entry", res.CacheSource)
+	}
+}
+
+// Approximate serving must bypass the cache in both directions: A-PC
+// results are neither stored nor served.
+func TestIndexCacheBypassesAPC(t *testing.T) {
+	ds, q := indexTestInstance(t, 3, 444)
+	ix, err := BuildIndex(ds, WithResultCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := ix.SolveContext(ctx, q, WithAlgorithm(APCAlgo), WithSamples(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != CacheBypass {
+		t.Fatalf("A-PC cache status = %v, want %v", res.Cache, CacheBypass)
+	}
+	st := ix.Stats()
+	if st.Cache.Entries != 0 {
+		t.Fatalf("A-PC answer was cached: %d entries", st.Cache.Entries)
+	}
+	// An exact solve afterwards is a plain miss, not contaminated by the
+	// A-PC call.
+	exact, err := ix.SolveContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Cache != CacheMiss {
+		t.Fatalf("exact solve after A-PC = %v, want %v", exact.Cache, CacheMiss)
+	}
+}
+
+// Query.Key must agree exactly with equality of (Q, K, Epsilon) and
+// distinguish everything else.
+func TestQueryKey(t *testing.T) {
+	base := Query{Q: Point{0.4, 0.7}, K: 2, Epsilon: 0.1}
+	same := Query{Q: Point{0.4, 0.7}, K: 2, Epsilon: 0.1}
+	if base.Key() != same.Key() {
+		t.Fatal("equal queries with different keys")
+	}
+	variants := []Query{
+		{Q: Point{0.4, 0.7}, K: 3, Epsilon: 0.1},
+		{Q: Point{0.4, 0.7}, K: 2, Epsilon: 0.2},
+		{Q: Point{0.4, 0.71}, K: 2, Epsilon: 0.1},
+		{Q: Point{0.4, 0.7, 0.5}, K: 2, Epsilon: 0.1},
+		{Q: Point{0.4}, K: 2, Epsilon: 0.1},
+	}
+	seen := map[string]int{base.Key(): -1}
+	for i, v := range variants {
+		k := v.Key()
+		if j, dup := seen[k]; dup {
+			t.Fatalf("variant %d collides with %d", i, j)
+		}
+		seen[k] = i
+	}
+	if s := base.String(); s == "" || s == base.Key() {
+		t.Fatalf("String() = %q, want a display form distinct from Key()", s)
+	}
+}
+
+// A malformed query must fail with its *QueryError even when bound serving
+// is on: k = 0 is ≤ every cached rank, so without up-front validation the
+// cache would happily serve it an outer bound.
+func TestIndexCacheRejectsInvalidQueryBeforeBoundServing(t *testing.T) {
+	ds, q := indexTestInstance(t, 2, 888)
+	ix, err := BuildIndex(ds, WithResultCache(16), WithCacheBounds(true))
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	if _, err := ix.SolveContext(context.Background(), q); err != nil {
+		t.Fatalf("seed solve: %v", err)
+	}
+	for _, bad := range []Query{
+		{Q: q.Q, K: 0, Epsilon: q.Epsilon},
+		{Q: q.Q, K: q.K, Epsilon: 1.5},
+		{Q: q.Q, K: q.K, Epsilon: -0.1},
+	} {
+		var qe *QueryError
+		if _, err := ix.SolveContext(context.Background(), bad); !errors.As(err, &qe) {
+			t.Fatalf("query %+v through a cached index: err=%v, want *QueryError", bad, err)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Command rrqd is the long-running reverse-regret-query server: it builds a
+// persistent snapshot index over a dataset and serves JSON solve, insert,
+// delete and stats endpoints over HTTP, with queue-depth-aware admission
+// control (load shedding with Retry-After under the cap policy), per-tenant
+// work metering and a monotonicity-aware result cache.
+//
+// Usage:
+//
+//	rrqd -data cars.csv -addr :8080
+//	rrqd -synthetic indep:5000:3:1 -cache 1024 -cache-bounds
+//	rrqd -real NBA:3000 -policy cap -capacity 8 -queue 64
+//	rrqd -synthetic indep:2000:2:7 -tenant-rate 50000 -tenant-burst 200000
+//
+// See docs/SERVING.md for the endpoint reference and cache semantics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"rrq"
+	"rrq/internal/dataset"
+	"rrq/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataPath    = flag.String("data", "", "CSV dataset path (header + numeric rows)")
+		synthetic   = flag.String("synthetic", "", "synthetic dataset spec type:n:d:seed, e.g. indep:5000:3:1")
+		real        = flag.String("real", "", "real dataset stand-in spec name:maxN, e.g. NBA:3000")
+		algoStr     = flag.String("algo", "auto", "auto|sweeping|ept|apc|lpcta|brute")
+		samples     = flag.Int("samples", 0, "A-PC sample count (0 = paper default)")
+		kmax        = flag.Int("kmax", 0, "rank ceiling of the index's rank-level tree (0 = default)")
+		cacheN      = flag.Int("cache", 1024, "result cache capacity in entries (0 = no cache)")
+		cacheBnd    = flag.Bool("cache-bounds", false, "serve sound inner/outer bounds from cached neighbors")
+		qTimeout    = flag.Duration("query-timeout", 0, "per-query wall-clock limit (0 = none)")
+		budget      = flag.Int64("budget", 0, "per-query work budget in solver units (0 = none)")
+		fallback    = flag.String("fallback", "", "comma-separated fallback algorithms, e.g. apc")
+		policyStr   = flag.String("policy", "always", `admission policy: "always" (queue) or "cap" (shed)`)
+		capacity    = flag.Int("capacity", 0, "concurrent solve slots (0 = GOMAXPROCS)")
+		queueLen    = flag.Int("queue", 64, "queued requests beyond the slots before the cap policy sheds")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant refill rate in work units/second (0 = no metering)")
+		tenantBurst = flag.Float64("tenant-burst", 0, "per-tenant budget burst in work units")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*dataPath, *synthetic, *real)
+	fatal(err)
+
+	algo, err := parseAlgo(*algoStr)
+	fatal(err)
+
+	reg := rrq.NewRegistry()
+	opts := []rrq.Option{
+		rrq.WithAlgorithm(algo),
+		rrq.WithMetrics(reg),
+		rrq.WithResultCache(*cacheN),
+		rrq.WithCacheBounds(*cacheBnd),
+	}
+	if *samples > 0 {
+		opts = append(opts, rrq.WithSamples(*samples))
+	}
+	if *kmax > 0 {
+		opts = append(opts, rrq.WithKmax(*kmax))
+	}
+	if *qTimeout > 0 {
+		opts = append(opts, rrq.WithQueryTimeout(*qTimeout))
+	}
+	if *budget > 0 {
+		opts = append(opts, rrq.WithWorkBudget(*budget))
+	}
+	if *fallback != "" {
+		var chain []rrq.Algorithm
+		for _, s := range strings.Split(*fallback, ",") {
+			a, err := parseAlgo(strings.TrimSpace(s))
+			fatal(err)
+			chain = append(chain, a)
+		}
+		opts = append(opts, rrq.WithFallback(chain...))
+	}
+
+	buildStart := time.Now()
+	ix, err := rrq.BuildIndex(ds, opts...)
+	fatal(err)
+	fmt.Printf("rrqd: index built: %d points, dim %d, epoch %d (%v)\n",
+		ix.Len(), ix.Dim(), ix.Version(), time.Since(buildStart).Round(time.Millisecond))
+
+	policy, err := server.ParseAdmissionPolicy(*policyStr)
+	fatal(err)
+	if *capacity <= 0 {
+		*capacity = runtime.GOMAXPROCS(0)
+	}
+	cfg := server.Config{
+		Index:     ix,
+		Metrics:   reg,
+		Admission: server.NewAdmission(policy, *capacity, *queueLen),
+	}
+	if *tenantRate > 0 && *tenantBurst > 0 {
+		cfg.Tenants = server.NewTenantBudgets(*tenantRate, *tenantBurst)
+	}
+	srv, err := server.New(cfg)
+	fatal(err)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("rrqd: serving on %s (policy=%s capacity=%d cache=%d)\n",
+			*addr, policy, cfg.Admission.Capacity(), *cacheN)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("rrqd: %v — draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "rrqd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("rrqd: clean shutdown")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+// loadDataset resolves exactly one of the three dataset sources.
+func loadDataset(csvPath, synthetic, real string) (*rrq.Dataset, error) {
+	set := 0
+	for _, s := range []string{csvPath, synthetic, real} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, errors.New("rrqd: exactly one of -data, -synthetic, -real is required")
+	}
+	switch {
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		pts, err := dataset.ReadCSV(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(pts) == 0 {
+			return nil, fmt.Errorf("rrqd: no data rows in %s", csvPath)
+		}
+		raw := make([][]float64, len(pts))
+		for i, p := range pts {
+			raw[i] = p
+		}
+		ds, err := rrq.NewDataset(raw)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Normalize(), nil
+	case synthetic != "":
+		parts := strings.Split(synthetic, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("rrqd: -synthetic wants type:n:d:seed, got %q", synthetic)
+		}
+		var t rrq.DistType
+		switch parts[0] {
+		case "indep":
+			t = rrq.Independent
+		case "corr":
+			t = rrq.Correlated
+		case "anti":
+			t = rrq.Anticorrelated
+		default:
+			return nil, fmt.Errorf("rrqd: unknown distribution %q (want indep|corr|anti)", parts[0])
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		d, err2 := strconv.Atoi(parts[2])
+		seed, err3 := strconv.ParseInt(parts[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("rrqd: malformed -synthetic %q", synthetic)
+		}
+		return rrq.SyntheticDataset(t, n, d, seed), nil
+	default:
+		name, maxS, ok := strings.Cut(real, ":")
+		maxN := 0
+		if ok {
+			var err error
+			if maxN, err = strconv.Atoi(maxS); err != nil {
+				return nil, fmt.Errorf("rrqd: malformed -real %q", real)
+			}
+		}
+		return rrq.RealDataset(name, maxN)
+	}
+}
+
+func parseAlgo(s string) (rrq.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return rrq.Auto, nil
+	case "sweeping", "sweep":
+		return rrq.SweepingAlgo, nil
+	case "ept":
+		return rrq.EPTAlgo, nil
+	case "apc":
+		return rrq.APCAlgo, nil
+	case "lpcta":
+		return rrq.LPCTAAlgo, nil
+	case "brute":
+		return rrq.BruteForceAlgo, nil
+	default:
+		return 0, fmt.Errorf("rrqd: unknown algorithm %q", s)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

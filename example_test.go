@@ -9,14 +9,14 @@ import (
 // The running example of the paper (Table 3 / Example 3.3): find every
 // customer preference under which q = (0.4, 0.7) is a (2, 0.1)-regret
 // point.
-func ExampleSolve() {
+func ExampleSolveResult() {
 	ds, _ := rrq.NewDataset([][]float64{
 		{0.20, 0.92},
 		{0.70, 0.54},
 		{0.60, 0.30},
 	})
-	region, _ := rrq.Solve(ds, rrq.Query{Q: rrq.Point{0.4, 0.7}, K: 2, Epsilon: 0.1})
-	fmt.Println(region.Contains(rrq.Vector{0.5, 0.5}))
+	res, _ := rrq.SolveResult(ds, rrq.Query{Q: rrq.Point{0.4, 0.7}, K: 2, Epsilon: 0.1})
+	fmt.Println(res.Region.Contains(rrq.Vector{0.5, 0.5}))
 	fmt.Printf("%.3f\n", rrq.RegretRatio(ds, rrq.Point{0.4, 0.7}, 2, rrq.Vector{0.5, 0.5}))
 	// Output:
 	// true
@@ -35,8 +35,8 @@ func ExampleReverseTopK() {
 	u1 := rrq.Vector{0.9, 0.1} // a horsepower-focused customer
 
 	rankBased, _ := rrq.ReverseTopK(cars, q, 3)
-	scoreBased, _ := rrq.Solve(cars, rrq.Query{Q: q, K: 1, Epsilon: 0.1})
-	fmt.Println(rankBased.Contains(u1), scoreBased.Contains(u1))
+	scoreBased, _ := rrq.SolveResult(cars, rrq.Query{Q: q, K: 1, Epsilon: 0.1})
+	fmt.Println(rankBased.Contains(u1), scoreBased.Region.Contains(u1))
 	// Output:
 	// false true
 }

@@ -43,10 +43,11 @@ func main() {
 		100*rtk.Measure(50000), rtk.Contains(u1))
 
 	// Score-based view: who scores q within 10%% of the best? (RRQ)
-	region, err := rrq.Solve(ds, rrq.Query{Q: q, K: 1, Epsilon: 0.1})
+	res, err := rrq.SolveResult(ds, rrq.Query{Q: q, K: 1, Epsilon: 0.1})
 	if err != nil {
 		log.Fatal(err)
 	}
+	region := res.Region
 	fmt.Printf("RRQ (k=1, eps=0.1) market share (score-based): %5.1f%%  — u1 qualifies: %v\n",
 		100*region.Measure(50000), region.Contains(u1))
 
@@ -56,11 +57,11 @@ func main() {
 	// Production-plan sweep: market share as the tolerance grows.
 	fmt.Println("\nmarket share vs tolerance ε:")
 	for _, eps := range []float64{0.0, 0.05, 0.1, 0.15, 0.2} {
-		r, err := rrq.Solve(ds, rrq.Query{Q: q, K: 1, Epsilon: eps})
+		r, err := rrq.SolveResult(ds, rrq.Query{Q: q, K: 1, Epsilon: eps})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  eps=%.2f → %5.1f%%\n", eps, 100*r.Measure(50000))
+		fmt.Printf("  eps=%.2f → %5.1f%%\n", eps, 100*r.Region.Measure(50000))
 	}
 }
 

@@ -29,14 +29,13 @@ func run2D() {
 	fmt.Printf("market %d points (skyband of %d), q=%v\n", market.Len(), ds.Len(), q.Q)
 
 	for _, algo := range []rrq.Algorithm{rrq.SweepingAlgo, rrq.EPTAlgo, rrq.APCAlgo, rrq.LPCTAAlgo} {
-		start := time.Now()
-		region, err := rrq.Solve(market, q, rrq.WithAlgorithm(algo), rrq.WithSamples(50))
+		res, err := rrq.SolveResult(market, q, rrq.WithAlgorithm(algo), rrq.WithSamples(50))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-10v %8.3fms  share=%6.2f%%  partitions=%d\n",
-			algo, float64(time.Since(start).Microseconds())/1000,
-			100*region.Measure(30000), region.NumPartitions())
+			algo, float64(res.Elapsed.Microseconds())/1000,
+			100*res.Region.Measure(30000), res.Region.NumPartitions())
 	}
 }
 
@@ -47,14 +46,13 @@ func run4D() {
 	fmt.Printf("market %d points (skyband of %d)\n", market.Len(), ds.Len())
 
 	for _, algo := range []rrq.Algorithm{rrq.EPTAlgo, rrq.APCAlgo, rrq.LPCTAAlgo} {
-		start := time.Now()
-		region, err := rrq.Solve(market, q, rrq.WithAlgorithm(algo), rrq.WithSamples(100))
+		res, err := rrq.SolveResult(market, q, rrq.WithAlgorithm(algo), rrq.WithSamples(100))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-10v %8.3fms  share=%6.2f%%  partitions=%d\n",
-			algo, float64(time.Since(start).Microseconds())/1000,
-			100*region.Measure(30000), region.NumPartitions())
+			algo, float64(res.Elapsed.Microseconds())/1000,
+			100*res.Region.Measure(30000), res.Region.NumPartitions())
 	}
 
 	// PBA+ amortizes an expensive index across queries.

@@ -32,10 +32,11 @@ func main() {
 
 	fmt.Printf("%-12s  %10s  %12s  %s\n", "candidate", "share", "partitions", "example preference")
 	for name, q := range candidates {
-		region, err := rrq.Solve(market, rrq.Query{Q: q, K: k, Epsilon: eps})
+		res, err := rrq.SolveResult(market, rrq.Query{Q: q, K: k, Epsilon: eps})
 		if err != nil {
 			log.Fatal(err)
 		}
+		region := res.Region
 		example := "-"
 		if u := region.Sample(1); u != nil {
 			example = fmt.Sprintf("%.2f", []float64(u))

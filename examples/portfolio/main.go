@@ -40,11 +40,11 @@ func main() {
 	total := 0.0
 	for _, idx := range line {
 		p := ds.PointAt(idx)
-		region, err := rrq.Solve(market, rrq.Query{Q: p, K: 1, Epsilon: eps})
+		res, err := rrq.SolveResult(market, rrq.Query{Q: p, K: 1, Epsilon: eps})
 		if err != nil {
 			log.Fatal(err)
 		}
-		share := region.Measure(30000)
+		share := res.Region.Measure(30000)
 		total += share
 		fmt.Printf("#%-7d  %-44s  %6.2f%%\n", idx, fmtPoint(p), 100*share)
 	}

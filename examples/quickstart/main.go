@@ -25,11 +25,13 @@ func main() {
 	// any preference under which q scores within 10% of the 2nd-best
 	// product (k = 2, ε = 0.1).
 	query := rrq.Query{Q: rrq.Point{0.4, 0.7}, K: 2, Epsilon: 0.1}
-	region, err := rrq.Solve(ds, query)
+	res, err := rrq.SolveResult(ds, query)
 	if err != nil {
 		log.Fatal(err)
 	}
+	region := res.Region
 
+	fmt.Printf("solved %v in %v\n", query, res.Elapsed)
 	fmt.Printf("qualified partitions: %d\n", region.NumPartitions())
 	fmt.Printf("preference-space share: %.1f%%\n", 100*region.Measure(50000))
 

@@ -14,6 +14,7 @@ import (
 	"io"
 	"time"
 
+	"rrq/internal/cache"
 	"rrq/internal/core"
 	"rrq/internal/index"
 	"rrq/internal/vec"
@@ -29,6 +30,7 @@ type Index struct {
 	inner *index.Index
 	cfg   config
 	dim   int
+	cache *cache.Cache // nil without WithResultCache
 }
 
 // WithKmax sets the rank ceiling of the index's rank-level tree (default 8).
@@ -77,6 +79,9 @@ func BuildIndex(d *Dataset, opts ...Option) (*Index, error) {
 		return nil, err
 	}
 	ix := &Index{inner: inner, cfg: cfg, dim: d.Dim()}
+	if cfg.cacheSize > 0 {
+		ix.cache = cache.New(cfg.cacheSize)
+	}
 	if reg := cfg.metrics; reg != nil {
 		reg.Counter("index.builds").Inc()
 		reg.Gauge("index.epoch").Set(float64(inner.Version()))
@@ -103,6 +108,62 @@ func (ix *Index) Dim() int { return ix.dim }
 
 // Kmax returns the rank ceiling of the index's rank-level tree.
 func (ix *Index) Kmax() int { return ix.inner.Kmax() }
+
+// CacheStats is a point-in-time view of an Index's result cache: occupancy
+// (Entries/Capacity), exact-lookup traffic (Hits/Misses) and answers
+// served as monotonicity bounds (BoundHits).
+type CacheStats = cache.Stats
+
+// IndexStats is the read-only introspection view returned by Index.Stats:
+// the current epoch and dataset shape plus the occupancy of the snapshot's
+// derived structures. It exists so callers (and the rrqd stats endpoint)
+// can inspect an index without wiring a metrics Registry.
+type IndexStats struct {
+	// Version is the current epoch, Points/Dim the dataset shape, Kmax the
+	// rank ceiling of the rank-level tree.
+	Version uint64
+	Points  int
+	Dim     int
+	Kmax    int
+	// PlaneHits/PlaneMisses count shared-plane-storage traffic over the
+	// index's lifetime; PlaneSets and SkybandViews are the current
+	// snapshot's memoized plane sets and k-band views.
+	PlaneHits    int64
+	PlaneMisses  int64
+	PlaneSets    int
+	SkybandViews int
+	// RankTreeNodes is the current snapshot's rank-tree size; zero until
+	// the lazy build is demanded. RankTreeBuilt distinguishes "not yet
+	// demanded" from "built with this many nodes".
+	RankTreeNodes int
+	RankTreeBuilt bool
+	// Cache is the result cache's statistics, nil without WithResultCache.
+	Cache *CacheStats
+}
+
+// Stats returns a consistent point-in-time view of the index: epoch, point
+// count, plane-cache traffic, rank-tree occupancy and (when configured)
+// result-cache statistics.
+func (ix *Index) Stats() IndexStats {
+	s := ix.inner.Stats()
+	st := IndexStats{
+		Version:       s.Version,
+		Points:        s.Points,
+		Dim:           s.Dim,
+		Kmax:          s.Kmax,
+		PlaneHits:     s.PlaneHits,
+		PlaneMisses:   s.PlaneMisses,
+		PlaneSets:     s.PlaneSets,
+		SkybandViews:  s.SkybandViews,
+		RankTreeNodes: s.RankTreeNodes,
+		RankTreeBuilt: s.RankTreeBuilt,
+	}
+	if ix.cache != nil {
+		cs := ix.cache.Stats()
+		st.Cache = &cs
+	}
+	return st
+}
 
 // Insert adds a product and publishes a new epoch; queries already running
 // keep serving the previous one. The dominator counts behind the skyband
@@ -136,6 +197,11 @@ func (ix *Index) maintain(counter string, op func() (uint64, error)) (uint64, er
 	if done != nil {
 		done()
 	}
+	if err == nil && ix.cache != nil {
+		// Invalidation is free — the new epoch never matches old keys — but
+		// pruning the dead generation now keeps it from occupying capacity.
+		ix.cache.Prune(v)
+	}
 	if reg := ix.cfg.metrics; reg != nil && err == nil {
 		reg.Counter(counter).Inc()
 		reg.Gauge("index.epoch").Set(float64(v))
@@ -154,11 +220,17 @@ func (ix *Index) Prepared(opts ...Option) (*Prepared, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return ix.preparedOn(ix.inner.Snapshot(), cfg)
+}
+
+// preparedOn binds one specific snapshot to a fully merged configuration —
+// the primitive behind Prepared and the cache-aware solving path, which
+// must pin the snapshot whose version keyed its lookup.
+func (ix *Index) preparedOn(snap *index.Snapshot, cfg config) (*Prepared, error) {
 	pol, err := policyFor(cfg, ix.dim)
 	if err != nil {
 		return nil, err
 	}
-	snap := ix.inner.Snapshot()
 	return &Prepared{prep: snap.Prepared(cfg.metrics), pol: pol, cfg: cfg, dim: ix.dim}, nil
 }
 
@@ -188,11 +260,96 @@ func (ix *Index) SolveContext(ctx context.Context, q Query, opts ...Option) (Res
 			return res, err
 		}
 	}
-	p, err := ix.Prepared(opts...)
+	snap := ix.inner.Snapshot()
+	if ix.cache != nil {
+		return ix.cachedSolve(ctx, cfg, snap, q)
+	}
+	p, err := ix.preparedOn(snap, cfg)
 	if err != nil {
 		return Result{}, err
 	}
 	return p.Solve(ctx, q)
+}
+
+// cachedSolve serves q through the result cache, pinned to one snapshot:
+// the version that keys every lookup is the version the fallback solve
+// runs on, so a concurrent mutation can never mix epochs within one query.
+// Exact hits are byte-identical to a fresh solve (the cache stores the
+// fresh artifact, keyed by serving path); with WithCacheBounds a cached
+// neighbor on the same query point may answer as a sound inner or outer
+// bound. Approximate (A-PC) serving bypasses the cache entirely, and
+// degraded answers are never stored.
+func (ix *Index) cachedSolve(ctx context.Context, cfg config, snap *index.Snapshot, q Query) (Result, error) {
+	algo := resolvedAlgo(cfg, ix.dim)
+	cacheable := algo != APCAlgo
+	cq := q.toCore()
+	// Validate before any lookup: a malformed query (k = 0 is ≤ every
+	// cached rank) could otherwise match a monotonicity neighbor and be
+	// served a bound instead of its *QueryError.
+	if err := cq.Validate(ix.dim); err != nil {
+		return Result{}, err
+	}
+	version := snap.Version()
+	if cacheable {
+		start := time.Now()
+		if r, ok := ix.cache.Get(version, algo.String(), cq); ok {
+			return ix.cacheServe(cfg, "cache.hit", Result{
+				Region:  &Region{inner: r, q: cq},
+				Stats:   Stats{Pieces: r.NumPieces()},
+				Elapsed: time.Since(start),
+				Cache:   CacheHit,
+			}), nil
+		}
+		if cfg.cacheBounds {
+			if ans := ix.cache.Bound(version, cq); ans != nil {
+				res := Result{
+					Region:  &Region{inner: ans.Region, q: ans.From},
+					Stats:   Stats{Pieces: ans.Region.NumPieces()},
+					Elapsed: time.Since(start),
+				}
+				if ans.Kind == cache.Exact {
+					// Same (k, ε) under a different serving path: the region
+					// equals the true answer as a set.
+					res.Cache = CacheHit
+					return ix.cacheServe(cfg, "cache.hit", res), nil
+				}
+				if ans.Kind == cache.Inner {
+					res.Cache = CacheInner
+				} else {
+					res.Cache = CacheOuter
+				}
+				src := Query{Q: Point(ans.From.Q), K: ans.From.K, Epsilon: ans.From.Eps}
+				res.CacheSource = &src
+				return ix.cacheServe(cfg, "cache.bound_served", res), nil
+			}
+		}
+		if reg := cfg.metrics; reg != nil {
+			reg.Counter("cache.miss").Inc()
+		}
+	}
+	p, err := ix.preparedOn(snap, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := p.Solve(ctx, q)
+	if err != nil {
+		return res, err
+	}
+	if cacheable && res.Degraded == nil && res.Region != nil {
+		res.Cache = CacheMiss
+		ix.cache.Put(version, algo.String(), cq, res.Region.inner)
+	}
+	return res, nil
+}
+
+// cacheServe finalizes a cache-served result: request accounting matches a
+// solved query ("rrq.solves"), plus the named cache counter.
+func (ix *Index) cacheServe(cfg config, counter string, res Result) Result {
+	if reg := cfg.metrics; reg != nil {
+		reg.Counter("rrq.solves").Inc()
+		reg.Counter(counter).Inc()
+	}
+	return res
 }
 
 // treeSolve attempts to serve q from the snapshot rank tree. ok is false
@@ -271,5 +428,9 @@ func LoadIndex(r io.Reader, opts ...Option) (*Index, error) {
 		reg.Counter("index.builds").Inc()
 		reg.Gauge("index.epoch").Set(float64(inner.Version()))
 	}
-	return &Index{inner: inner, cfg: cfg, dim: inner.Dim()}, nil
+	ix := &Index{inner: inner, cfg: cfg, dim: inner.Dim()}
+	if cfg.cacheSize > 0 {
+		ix.cache = cache.New(cfg.cacheSize)
+	}
+	return ix, nil
 }

@@ -1,0 +1,276 @@
+// Package cache implements the monotonicity-aware result cache of the
+// serving layer: solved regions keyed on (index version, serving path,
+// canonical query key), with a neighbor lookup that exploits the two
+// invariants the differential harness proves for every solver —
+//
+//	R(q, k, ε)  ⊆  R(q, k', ε')   whenever k ≤ k' and ε ≤ ε'
+//
+// (the qualified region grows as the rank requirement relaxes and as the
+// regret threshold rises; see docs/SERVING.md for the Lemma 3.5 counting
+// argument). A cached region for the same query point at (k', ε') with
+// k' ≤ k and ε' ≤ ε is therefore a sound inner bound — every preference it
+// contains genuinely qualifies — and one at k' ≥ k, ε' ≥ ε a sound outer
+// bound — every qualifying preference is inside it. The special case
+// ε' = 0 is the reverse top-k answer, which is how cached ReverseTopK
+// results seed the refinement of any (k, ε > 0) query on the same point.
+//
+// Exact hits are byte-identical to a from-scratch solve because the cache
+// only ever stores the artifact such a solve produced, keyed by serving
+// path (solver name), and the key includes the epoch version — mutation
+// invalidation is free: a new epoch simply never matches old keys, and
+// Prune discards the dead generation eagerly.
+//
+// The cache is safe for concurrent use. Stored regions are immutable and
+// shared; callers must not mutate them.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"rrq/internal/core"
+)
+
+// BoundKind classifies how a cache answer relates to the true region of the
+// requested query.
+type BoundKind int
+
+const (
+	// Exact: the cached region is the answer to the requested query itself.
+	Exact BoundKind = iota
+	// Inner: the cached region is a subset of the true region (served from
+	// a neighbor with k' ≤ k and ε' ≤ ε).
+	Inner
+	// Outer: the cached region is a superset of the true region (served
+	// from a neighbor with k' ≥ k and ε' ≥ ε).
+	Outer
+)
+
+func (b BoundKind) String() string {
+	switch b {
+	case Exact:
+		return "exact"
+	case Inner:
+		return "inner"
+	case Outer:
+		return "outer"
+	default:
+		return "BoundKind(?)"
+	}
+}
+
+// Answer is one cache response: the stored region, how it bounds the
+// requested query (Exact, Inner, Outer), and the query the region actually
+// answers (equal to the request for Exact).
+type Answer struct {
+	Region *core.Region
+	Kind   BoundKind
+	From   core.Query
+}
+
+// entry is one stored result. Entries live in the LRU list and in two
+// indexes: the exact map (full key) and the per-point bucket used for
+// bound lookups.
+type entry struct {
+	fullKey  string // version | path | Query.Key
+	bucket   string // version | Query.PointKey — bound neighbors share it
+	q        core.Query
+	region   *core.Region
+	lruEntry *list.Element
+}
+
+// Cache is a bounded LRU result cache. The zero value is not usable; call
+// New.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List                     // front = most recent; values are *entry
+	exact   map[string]*entry              // fullKey → entry
+	buckets map[string]map[*entry]struct{} // bucket → member set
+
+	hits, misses, boundHits atomic.Int64
+}
+
+// New returns an empty cache holding at most capacity entries (capacity
+// ≤ 0 is treated as 1).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:     capacity,
+		lru:     list.New(),
+		exact:   make(map[string]*entry),
+		buckets: make(map[string]map[*entry]struct{}),
+	}
+}
+
+// versionKey prefixes a key with the epoch version so entries of different
+// epochs never collide.
+func versionKey(version uint64, rest string) string {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(version >> (8 * i))
+	}
+	return string(b[:]) + rest
+}
+
+// fullKey is the exact-hit key: version, serving path and canonical query
+// key. The path (solver name, or "tree" for rank-tree serving) is part of
+// the key because different exact solvers return the same region as a set
+// but under different convex decompositions — byte-identical serving
+// requires matching the artifact's producer.
+func fullKey(version uint64, path string, q core.Query) string {
+	return versionKey(version, path+"\x00"+q.Key())
+}
+
+// Get returns the exact cached region for (version, path, q), or ok =
+// false. A hit refreshes the entry's recency.
+func (c *Cache) Get(version uint64, path string, q core.Query) (*core.Region, bool) {
+	key := fullKey(version, path, q)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.exact[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(e.lruEntry)
+	c.hits.Add(1)
+	return e.region, true
+}
+
+// Put stores the region solved for (version, path, q). Only exact,
+// deterministic artifacts belong here: the serving layer must not Put
+// approximate (A-PC) or degraded results, since bound lookups assume every
+// entry is the true region of its key.
+func (c *Cache) Put(version uint64, path string, q core.Query, region *core.Region) {
+	key := fullKey(version, path, q)
+	bucket := versionKey(version, q.PointKey())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.exact[key]; ok {
+		e.region = region
+		c.lru.MoveToFront(e.lruEntry)
+		return
+	}
+	e := &entry{fullKey: key, bucket: bucket, q: q, region: region}
+	e.lruEntry = c.lru.PushFront(e)
+	c.exact[key] = e
+	members, ok := c.buckets[bucket]
+	if !ok {
+		members = make(map[*entry]struct{})
+		c.buckets[bucket] = members
+	}
+	members[e] = struct{}{}
+	for c.lru.Len() > c.cap {
+		c.removeLocked(c.lru.Back().Value.(*entry))
+	}
+}
+
+// Bound returns the best available monotonicity bound for (version, q)
+// among entries cached for the same query point: inner from the tightest
+// neighbor with k' ≤ k and ε' ≤ ε, outer from the tightest neighbor with
+// k' ≥ k and ε' ≥ ε. An entry matching (k, ε) exactly is returned as an
+// Exact answer regardless of its serving path. Nil when no applicable
+// neighbor is cached; a served bound counts as a bound hit and refreshes
+// the source entry's recency.
+func (c *Cache) Bound(version uint64, q core.Query) *Answer {
+	bucket := versionKey(version, q.PointKey())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var inner, outer *entry
+	for e := range c.buckets[bucket] {
+		eq := e.q
+		if eq.K == q.K && eq.Eps == q.Eps {
+			c.lru.MoveToFront(e.lruEntry)
+			c.hits.Add(1)
+			return &Answer{Region: e.region, Kind: Exact, From: eq}
+		}
+		if eq.K <= q.K && eq.Eps <= q.Eps {
+			// Tightest inner bound: the largest cached region still inside
+			// the true one, i.e. maximal (k', ε') under the partial order.
+			if inner == nil || eq.K > inner.q.K || (eq.K == inner.q.K && eq.Eps > inner.q.Eps) {
+				inner = e
+			}
+		}
+		if eq.K >= q.K && eq.Eps >= q.Eps {
+			// Tightest outer bound: minimal (k', ε').
+			if outer == nil || eq.K < outer.q.K || (eq.K == outer.q.K && eq.Eps < outer.q.Eps) {
+				outer = e
+			}
+		}
+	}
+	pick := inner
+	kind := Inner
+	if pick == nil {
+		pick, kind = outer, Outer
+	}
+	if pick == nil {
+		return nil
+	}
+	c.lru.MoveToFront(pick.lruEntry)
+	c.boundHits.Add(1)
+	return &Answer{Region: pick.region, Kind: kind, From: pick.q}
+}
+
+// Prune discards every entry not belonging to version — called after a
+// mutation publishes a new epoch, so the dead generation does not occupy
+// capacity until it ages out. Invalidation correctness does not depend on
+// it (old versions can never match new keys); it only reclaims space.
+func (c *Cache) Prune(version uint64) {
+	prefix := versionKey(version, "")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for e := c.lru.Front(); e != nil; {
+		next := e.Next()
+		ent := e.Value.(*entry)
+		if ent.fullKey[:8] != prefix {
+			c.removeLocked(ent)
+		}
+		e = next
+	}
+}
+
+// removeLocked unlinks one entry from the LRU list and both indexes.
+func (c *Cache) removeLocked(e *entry) {
+	c.lru.Remove(e.lruEntry)
+	delete(c.exact, e.fullKey)
+	if members, ok := c.buckets[e.bucket]; ok {
+		delete(members, e)
+		if len(members) == 0 {
+			delete(c.buckets, e.bucket)
+		}
+	}
+}
+
+// Stats is a point-in-time view of the cache's traffic and occupancy.
+type Stats struct {
+	// Entries is the current number of cached results, Capacity the bound.
+	Entries, Capacity int
+	// Hits and Misses count exact lookups; BoundHits counts answers served
+	// as monotonicity bounds.
+	Hits, Misses, BoundHits int64
+}
+
+// Stats returns the cache's current statistics.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.mu.Unlock()
+	return Stats{
+		Entries:   n,
+		Capacity:  c.cap,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		BoundHits: c.boundHits.Load(),
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

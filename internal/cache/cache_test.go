@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"testing"
+
+	"rrq/internal/core"
+	"rrq/internal/vec"
+)
+
+func q2(x, y float64, k int, eps float64) core.Query {
+	return core.Query{Q: vec.Vec{x, y}, K: k, Eps: eps}
+}
+
+func region(lo, hi float64) *core.Region {
+	return core.NewIntervalRegion([][2]float64{{lo, hi}})
+}
+
+func TestExactHitAndMiss(t *testing.T) {
+	c := New(8)
+	q := q2(0.4, 0.7, 2, 0.1)
+	if _, ok := c.Get(1, "E-PT", q); ok {
+		t.Fatal("hit on empty cache")
+	}
+	r := region(0.2, 0.6)
+	c.Put(1, "E-PT", q, r)
+	got, ok := c.Get(1, "E-PT", q)
+	if !ok || got != r {
+		t.Fatalf("expected stored region back, got %v ok=%v", got, ok)
+	}
+	// Different serving path, version, or query → miss.
+	if _, ok := c.Get(1, "Sweeping", q); ok {
+		t.Fatal("hit across serving paths")
+	}
+	if _, ok := c.Get(2, "E-PT", q); ok {
+		t.Fatal("hit across versions")
+	}
+	if _, ok := c.Get(1, "E-PT", q2(0.4, 0.7, 3, 0.1)); ok {
+		t.Fatal("hit across k")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 4 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 4 misses / 1 entry", s)
+	}
+}
+
+func TestBoundSelection(t *testing.T) {
+	c := New(8)
+	// Three neighbors on the same point: a loose inner, a tight inner and
+	// an outer.
+	looseIn, tightIn, out := region(0.4, 0.5), region(0.3, 0.6), region(0.1, 0.9)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 1, 0.0), looseIn) // reverse top-k seed
+	c.Put(1, "E-PT", q2(0.4, 0.7, 2, 0.05), tightIn)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 4, 0.3), out)
+
+	ans := c.Bound(1, q2(0.4, 0.7, 2, 0.1))
+	if ans == nil || ans.Kind != Inner || ans.Region != tightIn {
+		t.Fatalf("want tight inner bound, got %+v", ans)
+	}
+	if ans.From.K != 2 || ans.From.Eps != 0.05 {
+		t.Fatalf("wrong source query: %+v", ans.From)
+	}
+
+	// Only the outer neighbor applies to (k=3, ε=0.2)... no: inner needs
+	// k'≤3, ε'≤0.2 — both inner entries apply; tightest is (2, 0.05).
+	ans = c.Bound(1, q2(0.4, 0.7, 3, 0.2))
+	if ans == nil || ans.Kind != Inner || ans.Region != tightIn {
+		t.Fatalf("want inner (2,0.05), got %+v", ans)
+	}
+
+	// Nothing below (k=1, ε<0) is cached except (1,0): exact k,ε match
+	// returns Exact regardless of path.
+	ans = c.Bound(1, q2(0.4, 0.7, 1, 0.0))
+	if ans == nil || ans.Kind != Exact || ans.Region != looseIn {
+		t.Fatalf("want exact, got %+v", ans)
+	}
+
+	// A query below every cached (k', ε') gets only the outer side.
+	c2 := New(8)
+	c2.Put(1, "E-PT", q2(0.4, 0.7, 4, 0.3), out)
+	ans = c2.Bound(1, q2(0.4, 0.7, 2, 0.1))
+	if ans == nil || ans.Kind != Outer || ans.Region != out {
+		t.Fatalf("want outer bound, got %+v", ans)
+	}
+
+	// Different query point or version → no bound.
+	if ans := c.Bound(1, q2(0.5, 0.7, 2, 0.1)); ans != nil {
+		t.Fatalf("bound across query points: %+v", ans)
+	}
+	if ans := c.Bound(2, q2(0.4, 0.7, 2, 0.1)); ans != nil {
+		t.Fatalf("bound across versions: %+v", ans)
+	}
+}
+
+func TestBoundPrefersInnerOverOuter(t *testing.T) {
+	c := New(8)
+	in, out := region(0.3, 0.6), region(0.1, 0.9)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 1, 0.0), in)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 5, 0.5), out)
+	ans := c.Bound(1, q2(0.4, 0.7, 2, 0.1))
+	if ans == nil || ans.Kind != Inner || ans.Region != in {
+		t.Fatalf("want inner preferred, got %+v", ans)
+	}
+}
+
+func TestIncomparableNeighborServesNothing(t *testing.T) {
+	c := New(8)
+	// (k'=1, ε'=0.3) vs query (k=2, ε=0.1): k' ≤ k but ε' > ε — neither
+	// inner nor outer.
+	c.Put(1, "E-PT", q2(0.4, 0.7, 1, 0.3), region(0.2, 0.8))
+	if ans := c.Bound(1, q2(0.4, 0.7, 2, 0.1)); ans != nil {
+		t.Fatalf("incomparable neighbor served as %v bound", ans.Kind)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	qa, qb, qc := q2(0.1, 0.1, 1, 0), q2(0.2, 0.2, 1, 0), q2(0.3, 0.3, 1, 0)
+	c.Put(1, "E-PT", qa, region(0, 1))
+	c.Put(1, "E-PT", qb, region(0, 1))
+	c.Get(1, "E-PT", qa) // refresh a: b is now least recent
+	c.Put(1, "E-PT", qc, region(0, 1))
+	if _, ok := c.Get(1, "E-PT", qa); !ok {
+		t.Fatal("refreshed entry evicted")
+	}
+	if _, ok := c.Get(1, "E-PT", qb); ok {
+		t.Fatal("least-recent entry survived eviction")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	// Eviction must also clear the bound bucket.
+	if ans := c.Bound(1, q2(0.2, 0.2, 2, 0.1)); ans != nil {
+		t.Fatalf("evicted entry still served a bound: %+v", ans)
+	}
+}
+
+func TestPruneDropsDeadGenerations(t *testing.T) {
+	c := New(8)
+	c.Put(1, "E-PT", q2(0.1, 0.1, 1, 0), region(0, 1))
+	c.Put(1, "E-PT", q2(0.2, 0.2, 1, 0), region(0, 1))
+	c.Put(2, "E-PT", q2(0.1, 0.1, 1, 0), region(0, 1))
+	c.Prune(2)
+	if c.Len() != 1 {
+		t.Fatalf("len after prune = %d, want 1", c.Len())
+	}
+	if _, ok := c.Get(2, "E-PT", q2(0.1, 0.1, 1, 0)); !ok {
+		t.Fatal("current-version entry pruned")
+	}
+	if _, ok := c.Get(1, "E-PT", q2(0.1, 0.1, 1, 0)); ok {
+		t.Fatal("dead-version entry survived prune")
+	}
+}
+
+func TestPutIsIdempotentPerKey(t *testing.T) {
+	c := New(8)
+	q := q2(0.4, 0.7, 2, 0.1)
+	r1, r2 := region(0.2, 0.6), region(0.2, 0.6)
+	c.Put(1, "E-PT", q, r1)
+	c.Put(1, "E-PT", q, r2)
+	if c.Len() != 1 {
+		t.Fatalf("duplicate Put grew the cache: len=%d", c.Len())
+	}
+	got, _ := c.Get(1, "E-PT", q)
+	if got != r2 {
+		t.Fatal("re-Put did not replace the stored region")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				q := q2(float64(i%10)/10, 0.5, 1+i%4, float64(g%3)/10)
+				c.Put(uint64(1+i%2), "E-PT", q, region(0, 1))
+				c.Get(uint64(1+i%2), "E-PT", q)
+				c.Bound(1, q)
+				if i%50 == 0 {
+					c.Prune(1)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	c.Stats()
+}

@@ -13,8 +13,11 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"rrq/internal/geom"
 	"rrq/internal/topk"
@@ -26,6 +29,56 @@ type Query struct {
 	Q   vec.Vec // the query point, d-dimensional, attributes in (0,1]
 	K   int     // rank parameter k ≥ 1
 	Eps float64 // regret threshold ε ∈ [0,1)
+}
+
+// Key returns the canonical comparable form of the query: a compact byte
+// string that is equal exactly when (Q, K, Eps) are bit-for-bit equal. It is
+// the single key used wherever a query is hashed — the index's shared plane
+// storage, the result cache, the server's in-flight deduplication — so no
+// layer re-derives its own ad-hoc encoding. The layout is fixed-width
+// little-endian (K, then Eps, then the coordinates of Q); queries of
+// different dimensions therefore have different lengths and never collide.
+func (q Query) Key() string {
+	b := make([]byte, 0, 16+8*len(q.Q))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(q.K))
+	b = append(b, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(q.Eps))
+	b = append(b, tmp[:]...)
+	for _, x := range q.Q {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(x))
+		b = append(b, tmp[:]...)
+	}
+	return string(b)
+}
+
+// PointKey returns the canonical comparable form of the query point alone,
+// without K and Eps — the bucket key under which the result cache groups
+// entries whose cached regions bound each other through the k/ε
+// monotonicity invariants.
+func (q Query) PointKey() string {
+	b := make([]byte, 0, 8*len(q.Q))
+	var tmp [8]byte
+	for _, x := range q.Q {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(x))
+		b = append(b, tmp[:]...)
+	}
+	return string(b)
+}
+
+// String renders the query in the human-readable form used by logs and
+// error paths: "q=(0.4,0.7) k=2 eps=0.1".
+func (q Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("q=(")
+	for i, x := range q.Q {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	}
+	fmt.Fprintf(&sb, ") k=%d eps=%s", q.K, strconv.FormatFloat(q.Eps, 'g', -1, 64))
+	return sb.String()
 }
 
 // QueryError is the typed validation error every entry point returns for a

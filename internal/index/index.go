@@ -25,9 +25,7 @@ package index
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 
@@ -65,10 +63,71 @@ func (o Options) withDefaults() Options {
 // Readers call Snapshot (or the convenience accessors) and never block;
 // writers are serialized by a mutex and publish each new epoch atomically.
 type Index struct {
-	opts Options
+	opts   Options
+	pstats planeStats // plane-cache traffic across every epoch
 
 	mu   sync.Mutex // serializes Insert/Delete
 	snap atomic.Pointer[Snapshot]
+}
+
+// planeStats is the index-lifetime plane-cache traffic, shared by every
+// snapshot of one index so Stats survives epoch succession.
+type planeStats struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Stats is a read-only introspection snapshot of an index: the current
+// epoch and dataset shape, the lifetime plane-cache traffic, and the
+// current snapshot's materialized derived state. It is what callers get
+// without wiring a metrics registry.
+type Stats struct {
+	// Version is the current epoch number.
+	Version uint64
+	// Points is the current dataset size, Dim its dimension.
+	Points int
+	Dim    int
+	// Kmax is the rank ceiling of the snapshot rank trees.
+	Kmax int
+	// PlaneHits / PlaneMisses count shared-plane-storage traffic over the
+	// index's lifetime (across every epoch).
+	PlaneHits, PlaneMisses int64
+	// PlaneSets is the number of classified plane sets cached by the
+	// current snapshot, SkybandViews its memoized k-band views.
+	PlaneSets    int
+	SkybandViews int
+	// RankTreeNodes is the node count of the current snapshot's rank-level
+	// tree; zero when the tree has not been built (it is lazy) or its build
+	// failed. RankTreeBuilt distinguishes "not yet demanded" from "built".
+	RankTreeNodes int
+	RankTreeBuilt bool
+}
+
+// Stats returns the index's current introspection snapshot. It is
+// read-only and safe for concurrent use; derived state is reported as-is,
+// never forced (a lazy rank tree that was never demanded shows zero
+// nodes).
+func (ix *Index) Stats() Stats {
+	s := ix.snap.Load()
+	st := Stats{
+		Version:     s.version,
+		Points:      len(s.pts),
+		Dim:         s.dim,
+		Kmax:        s.opts.Kmax,
+		PlaneHits:   ix.pstats.hits.Load(),
+		PlaneMisses: ix.pstats.misses.Load(),
+	}
+	s.mu.Lock()
+	st.PlaneSets = len(s.planes)
+	st.SkybandViews = len(s.bands)
+	s.mu.Unlock()
+	s.treeMu.Lock()
+	if s.treeDone && s.treeErr == nil && s.tree != nil {
+		st.RankTreeNodes = s.tree.Nodes
+		st.RankTreeBuilt = true
+	}
+	s.treeMu.Unlock()
+	return st
 }
 
 // Snapshot is one immutable epoch: the validated points, their exact
@@ -80,8 +139,9 @@ type Snapshot struct {
 	version uint64
 	dim     int
 	opts    Options
-	pts     []vec.Vec // immutable
-	dom     []int     // exact dominator count per point; immutable
+	pts     []vec.Vec   // immutable
+	dom     []int       // exact dominator count per point; immutable
+	pstats  *planeStats // owning index's lifetime plane-cache counters
 
 	mu     sync.Mutex
 	bands  map[int][]vec.Vec
@@ -112,12 +172,12 @@ func Build(pts []vec.Vec, dim int, opts Options) (*Index, error) {
 		cl[i] = p.Clone()
 	}
 	ix := &Index{opts: opts}
-	ix.snap.Store(newSnapshot(1, dim, opts, cl, skyband.DominatorCounts(cl)))
+	ix.snap.Store(newSnapshot(1, dim, opts, cl, skyband.DominatorCounts(cl), &ix.pstats))
 	return ix, nil
 }
 
-func newSnapshot(version uint64, dim int, opts Options, pts []vec.Vec, dom []int) *Snapshot {
-	return &Snapshot{version: version, dim: dim, opts: opts, pts: pts, dom: dom}
+func newSnapshot(version uint64, dim int, opts Options, pts []vec.Vec, dom []int, pstats *planeStats) *Snapshot {
+	return &Snapshot{version: version, dim: dim, opts: opts, pts: pts, dom: dom, pstats: pstats}
 }
 
 // Snapshot returns the current epoch. The returned value stays valid (and
@@ -161,7 +221,7 @@ func (ix *Index) Insert(p vec.Vec) (uint64, error) {
 			dom[i]++
 		}
 	}
-	next := newSnapshot(old.version+1, old.dim, old.opts, pts, dom)
+	next := newSnapshot(old.version+1, old.dim, old.opts, pts, dom, old.pstats)
 	ix.snap.Store(next)
 	return next.version, nil
 }
@@ -191,7 +251,7 @@ func (ix *Index) Delete(i int) (uint64, error) {
 		pts = append(pts, x)
 		dom = append(dom, c)
 	}
-	next := newSnapshot(old.version+1, old.dim, old.opts, pts, dom)
+	next := newSnapshot(old.version+1, old.dim, old.opts, pts, dom, old.pstats)
 	ix.snap.Store(next)
 	return next.version, nil
 }
@@ -239,34 +299,20 @@ func (s *Snapshot) PointsFor(k int) []vec.Vec {
 	return b
 }
 
-// planeKey encodes the query parameters a classified plane set depends on:
-// the query point, ε and k (k selects the prefiltered band the planes were
-// built over).
-func planeKey(q core.Query) string {
-	b := make([]byte, 0, 16+8*len(q.Q))
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], uint64(q.K))
-	b = append(b, tmp[:]...)
-	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(q.Eps))
-	b = append(b, tmp[:]...)
-	for _, x := range q.Q {
-		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(x))
-		b = append(b, tmp[:]...)
-	}
-	return string(b)
-}
-
 // Prepared wraps the snapshot as a core.Prepared: solvers draw their point
 // sets from the maintained skyband and their classified plane sets from
-// the snapshot's deduplicated storage. reg, when non-nil, receives
-// index.planes.hit / index.planes.miss counters.
+// the snapshot's deduplicated storage, keyed by the canonical Query.Key.
+// reg, when non-nil, receives index.planes.hit / index.planes.miss
+// counters; the snapshot's shared lifetime counters (Index.Stats) are
+// maintained unconditionally.
 func (s *Snapshot) Prepared(reg *obs.Registry) *core.Prepared {
 	src := func(pts []vec.Vec, q core.Query) core.PlaneSet {
-		key := planeKey(q)
+		key := q.Key()
 		s.mu.Lock()
 		ps, ok := s.planes[key]
 		s.mu.Unlock()
 		if ok {
+			s.pstats.hits.Add(1)
 			if reg != nil {
 				reg.Counter("index.planes.hit").Inc()
 			}
@@ -281,6 +327,7 @@ func (s *Snapshot) Prepared(reg *obs.Registry) *core.Prepared {
 			s.planes[key] = ps
 		}
 		s.mu.Unlock()
+		s.pstats.misses.Add(1)
 		if reg != nil {
 			reg.Counter("index.planes.miss").Inc()
 		}

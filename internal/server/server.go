@@ -1,0 +1,430 @@
+// Package server is the rrqd serving layer: HTTP endpoints over a
+// persistent rrq.Index with queue-depth-aware admission control, per-tenant
+// work metering and concurrent-duplicate coalescing. The package is
+// deliberately thin — solving, caching, resilience and observability all
+// live in the library; the server adds exactly the concerns a long-running
+// front-end needs: request decoding, typed-error → status-code mapping,
+// load shedding with Retry-After, and graceful introspection.
+//
+// Endpoints (see docs/SERVING.md):
+//
+//	POST /v1/solve   {"q":[...], "k":2, "epsilon":0.1, "tenant":"t"}
+//	POST /v1/insert  {"point":[...]}
+//	POST /v1/delete  {"index":3}
+//	GET  /v1/stats
+//	GET  /metrics
+//	GET  /healthz
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"rrq"
+	"rrq/internal/core"
+)
+
+// Config assembles a Server. Index is required; everything else has a
+// serviceable default.
+type Config struct {
+	// Index serves every query and mutation.
+	Index *rrq.Index
+	// Metrics, when set, receives the server counters ("server.requests",
+	// "server.shed", "server.tenant_rejected", "server.dedup") and the
+	// "server.queue_depth" gauge. Share the registry with the index options
+	// to expose solver and cache traffic on the same /metrics page.
+	Metrics *rrq.Registry
+	// Admission is the load controller; nil defaults to AdmitAlways with
+	// GOMAXPROCS solve slots.
+	Admission *Admission
+	// Tenants meters per-tenant work; nil disables metering.
+	Tenants *TenantBudgets
+	// BaseContext, when set, replaces the request context for solves —
+	// a test hook (fault injectors are context-carried) mirroring
+	// http.Server.BaseContext.
+	BaseContext func() context.Context
+	// Now is the clock used for tenant metering; nil means time.Now.
+	Now func() time.Time
+}
+
+// Server is the rrqd HTTP front-end. Create with New, expose with Handler.
+type Server struct {
+	cfg     Config
+	adm     *Admission
+	mux     *http.ServeMux
+	flights flightGroup
+}
+
+// New validates the configuration and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Index == nil {
+		return nil, errors.New("server: Config.Index is required")
+	}
+	if cfg.Admission == nil {
+		cfg.Admission = NewAdmission(AdmitAlways, runtime.GOMAXPROCS(0), 0)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Server{cfg: cfg, adm: cfg.Admission}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/insert", s.handleInsert)
+	s.mux.HandleFunc("/v1/delete", s.handleDelete)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// counter bumps a named server counter when metrics are configured.
+func (s *Server) counter(name string) {
+	if reg := s.cfg.Metrics; reg != nil {
+		reg.Counter(name).Inc()
+	}
+}
+
+// solveRequest is the /v1/solve body. Tenant may instead arrive in the
+// X-RRQ-Tenant header (the body wins when both are set).
+type solveRequest struct {
+	Q       []float64 `json:"q"`
+	K       int       `json:"k"`
+	Epsilon float64   `json:"epsilon"`
+	Tenant  string    `json:"tenant"`
+}
+
+// querySpec echoes a query in responses (the cache-bound source).
+type querySpec struct {
+	Q       []float64 `json:"q"`
+	K       int       `json:"k"`
+	Epsilon float64   `json:"epsilon"`
+}
+
+// degradedNote reports a fallback-served answer.
+type degradedNote struct {
+	Reason string `json:"reason"`
+	Solver string `json:"solver"`
+	Cause  string `json:"cause"`
+}
+
+// solveResponse is the /v1/solve success body. Cache is the CacheStatus
+// string ("bypass", "miss", "hit", "inner-bound", "outer-bound"); for
+// bound-served answers CacheSource names the cached query whose region is
+// returned, and the region bounds — rather than equals — the true answer.
+type solveResponse struct {
+	Version     uint64          `json:"version"`
+	Partitions  int             `json:"partitions"`
+	ElapsedMS   float64         `json:"elapsed_ms"`
+	Cache       string          `json:"cache"`
+	CacheSource *querySpec      `json:"cache_source,omitempty"`
+	Degraded    *degradedNote   `json:"degraded,omitempty"`
+	Deduped     bool            `json:"deduped,omitempty"`
+	Region      json.RawMessage `json:"region"`
+}
+
+// errorResponse is every non-2xx body: the message, a stable kind for
+// programmatic handling, the Retry-After echo for 429s and — for
+// panic-isolated failures — the degradation note.
+type errorResponse struct {
+	Error       string `json:"error"`
+	Kind        string `json:"kind"`
+	RetryAfterS int64  `json:"retry_after_s,omitempty"`
+	Note        string `json:"note,omitempty"`
+}
+
+// statusFor maps a typed solve error to its HTTP status, stable kind and
+// optional degradation note — the contract the error-mapping tests pin:
+// validation (*QueryError/*DataError) → 400, capacity (*BudgetError, shed)
+// → 429, aborted work (deadline) → 504, isolated panics (*SolveError) and
+// numerical failures → 500.
+func statusFor(err error) (status int, kind, note string) {
+	var qe *core.QueryError
+	var de *core.DataError
+	var be *core.BudgetError
+	var se *core.SolveError
+	var ne *core.NumericalError
+	var she *ShedError
+	switch {
+	case errors.As(err, &qe):
+		return http.StatusBadRequest, "query", ""
+	case errors.As(err, &de):
+		return http.StatusBadRequest, "data", ""
+	case errors.As(err, &she):
+		return http.StatusTooManyRequests, "shed", ""
+	case errors.As(err, &be):
+		return http.StatusTooManyRequests, "budget", ""
+	case errors.Is(err, core.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline", ""
+	case errors.As(err, &se):
+		return http.StatusInternalServerError, "panic",
+			fmt.Sprintf("solver %s panicked; the failure was isolated to this query and the index remains serviceable", se.Solver)
+	case errors.As(err, &ne):
+		return http.StatusInternalServerError, "numerical", ""
+	default:
+		return http.StatusInternalServerError, "internal", ""
+	}
+}
+
+// writeError emits the mapped error body; retryAfter > 0 additionally sets
+// the Retry-After header (429/503 semantics).
+func writeError(w http.ResponseWriter, err error, retryAfter time.Duration) {
+	status, kind, note := statusFor(err)
+	seconds := int64(0)
+	if retryAfter > 0 {
+		seconds = int64(retryAfter / time.Second)
+		if seconds < 1 {
+			seconds = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(seconds, 10))
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind, RetryAfterS: seconds, Note: note})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody decodes a JSON request body (bounded at 1 MiB), reporting
+// malformed input as a *QueryError so it maps to 400 like any other
+// validation failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return &core.QueryError{Field: "body", Msg: fmt.Sprintf("malformed request: %v", err)}
+	}
+	return nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.counter("server.requests")
+	var req solveRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err, 0)
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = r.Header.Get("X-RRQ-Tenant")
+	}
+	if retry, err := s.cfg.Tenants.Admit(tenant, s.cfg.Now()); err != nil {
+		s.counter("server.tenant_rejected")
+		writeError(w, err, retry)
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.BaseContext != nil {
+		ctx = s.cfg.BaseContext()
+	}
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		var she *ShedError
+		if errors.As(err, &she) {
+			s.counter("server.shed")
+			writeError(w, err, she.RetryAfter)
+			return
+		}
+		writeError(w, err, 0) // context canceled/expired while queued
+		return
+	}
+	s.gaugeDepth()
+	q := rrq.Query{Q: rrq.Point(req.Q), K: req.K, Epsilon: req.Epsilon}
+	// Coalesce concurrent identical requests: one solve serves them all.
+	// The key pairs the canonical query form with the current epoch so a
+	// mutation mid-flight never couples requests across versions (each
+	// solve still pins its own snapshot).
+	key := strconv.FormatUint(s.cfg.Index.Version(), 10) + "|" + q.Key()
+	start := time.Now()
+	res, shared, err := s.flights.Do(key, func() (rrq.Result, error) {
+		return s.cfg.Index.SolveContext(ctx, q)
+	})
+	release(time.Since(start))
+	s.gaugeDepth()
+	if err != nil {
+		writeError(w, err, 0)
+		return
+	}
+	if shared {
+		s.counter("server.dedup")
+	} else {
+		// Post-paid metering: only the tenant whose request ran the solve
+		// is charged; coalesced followers consumed no solver work.
+		s.cfg.Tenants.Charge(tenant, WorkUnits(res.Stats), s.cfg.Now())
+	}
+	region, err := res.Region.MarshalJSON()
+	if err != nil {
+		writeError(w, err, 0)
+		return
+	}
+	resp := solveResponse{
+		Version:    s.cfg.Index.Version(),
+		Partitions: res.Region.NumPartitions(),
+		ElapsedMS:  float64(res.Elapsed.Microseconds()) / 1000,
+		Cache:      res.Cache.String(),
+		Deduped:    shared,
+		Region:     region,
+	}
+	if src := res.CacheSource; src != nil {
+		resp.CacheSource = &querySpec{Q: src.Q, K: src.K, Epsilon: src.Epsilon}
+	}
+	if deg := res.Degraded; deg != nil {
+		resp.Degraded = &degradedNote{Reason: deg.Reason.String(), Solver: deg.Solver, Cause: deg.Cause.Error()}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// gaugeDepth publishes the current queue depth.
+func (s *Server) gaugeDepth() {
+	if reg := s.cfg.Metrics; reg != nil {
+		reg.Gauge("server.queue_depth").Set(float64(s.adm.Depth()))
+	}
+}
+
+type insertRequest struct {
+	Point []float64 `json:"point"`
+}
+
+type deleteRequest struct {
+	Index int `json:"index"`
+}
+
+type mutateResponse struct {
+	Version uint64 `json:"version"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req insertRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err, 0)
+		return
+	}
+	v, err := s.cfg.Index.Insert(rrq.Point(req.Point))
+	if err != nil {
+		writeError(w, err, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutateResponse{Version: v})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req deleteRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err, 0)
+		return
+	}
+	if n := s.cfg.Index.Len(); req.Index < 0 || req.Index >= n {
+		writeError(w, &core.DataError{Point: req.Index, Attr: -1,
+			Msg: fmt.Sprintf("delete index out of range [0,%d)", n)}, 0)
+		return
+	}
+	v, err := s.cfg.Index.Delete(req.Index)
+	if err != nil {
+		writeError(w, err, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutateResponse{Version: v})
+}
+
+// statsResponse is the /v1/stats body: the index's introspection view plus
+// the server's admission state.
+type statsResponse struct {
+	Index  rrq.IndexStats `json:"index"`
+	Server serverStats    `json:"server"`
+}
+
+type serverStats struct {
+	Policy     string `json:"policy"`
+	Capacity   int    `json:"capacity"`
+	QueueDepth int    `json:"queue_depth"`
+	Shed       int64  `json:"shed"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Index: s.cfg.Index.Stats(),
+		Server: serverStats{
+			Policy:     string(s.adm.Policy()),
+			Capacity:   s.adm.Capacity(),
+			QueueDepth: s.adm.Depth(),
+			Shed:       s.adm.Shed(),
+		},
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if reg := s.cfg.Metrics; reg != nil {
+		_ = reg.WriteText(w)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution — a minimal single-flight (no external dependency). Followers
+// block until the leader finishes and share its result.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	res  rrq.Result
+	err  error
+}
+
+// Do runs fn once per key among concurrent callers; shared reports whether
+// this caller received another caller's result.
+func (g *flightGroup) Do(key string, fn func() (rrq.Result, error)) (res rrq.Result, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.res, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.res, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.res, false, f.err
+}

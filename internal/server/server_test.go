@@ -1,0 +1,530 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rrq"
+	"rrq/internal/faultinject"
+)
+
+// testIndex builds a small 2-d index with caching enabled.
+func testIndex(t *testing.T, opts ...rrq.Option) *rrq.Index {
+	t.Helper()
+	ds, err := rrq.NewDataset([][]float64{
+		{0.20, 0.92},
+		{0.70, 0.54},
+		{0.60, 0.30},
+		{0.35, 0.80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := rrq.BuildIndex(ds, append([]rrq.Option{rrq.WithResultCache(32)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func decodeSolve(t *testing.T, b []byte) solveResponse {
+	t.Helper()
+	var sr solveResponse
+	if err := json.Unmarshal(b, &sr); err != nil {
+		t.Fatalf("malformed solve response %s: %v", b, err)
+	}
+	return sr
+}
+
+func decodeError(t *testing.T, b []byte) errorResponse {
+	t.Helper()
+	var er errorResponse
+	if err := json.Unmarshal(b, &er); err != nil {
+		t.Fatalf("malformed error response %s: %v", b, err)
+	}
+	return er
+}
+
+const solveBody = `{"q":[0.4,0.7],"k":2,"epsilon":0.1}`
+
+// The CI smoke sequence as a unit test: solve, repeat (cache hit), insert
+// (version bump), solve again (version miss).
+func TestSolveInsertSolveCacheFlow(t *testing.T) {
+	reg := rrq.NewRegistry()
+	ix := testIndex(t, rrq.WithMetrics(reg))
+	ts := newTestServer(t, Config{Index: ix, Metrics: reg})
+
+	resp, b := postJSON(t, ts.URL+"/v1/solve", solveBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d: %s", resp.StatusCode, b)
+	}
+	first := decodeSolve(t, b)
+	if first.Cache != "miss" || first.Version != 1 {
+		t.Fatalf("first solve: cache=%q version=%d, want miss/1", first.Cache, first.Version)
+	}
+	if len(first.Region) == 0 || first.Partitions == 0 {
+		t.Fatalf("first solve returned no region: %s", b)
+	}
+
+	resp, b = postJSON(t, ts.URL+"/v1/solve", solveBody)
+	second := decodeSolve(t, b)
+	if resp.StatusCode != http.StatusOK || second.Cache != "hit" {
+		t.Fatalf("repeat solve: status=%d cache=%q, want 200/hit", resp.StatusCode, second.Cache)
+	}
+	if !bytes.Equal(first.Region, second.Region) {
+		t.Fatal("cache-served region differs from the fresh answer")
+	}
+
+	resp, b = postJSON(t, ts.URL+"/v1/insert", `{"point":[0.5,0.6]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, b)
+	}
+	var mr mutateResponse
+	if err := json.Unmarshal(b, &mr); err != nil || mr.Version != 2 {
+		t.Fatalf("insert response %s, want version 2", b)
+	}
+
+	resp, b = postJSON(t, ts.URL+"/v1/solve", solveBody)
+	third := decodeSolve(t, b)
+	if resp.StatusCode != http.StatusOK || third.Cache != "miss" || third.Version != 2 {
+		t.Fatalf("post-insert solve: status=%d cache=%q version=%d, want 200/miss/2", resp.StatusCode, third.Cache, third.Version)
+	}
+
+	// Delete restores the original market; yet another epoch.
+	resp, b = postJSON(t, ts.URL+"/v1/delete", `{"index":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d: %s", resp.StatusCode, b)
+	}
+
+	// Stats reflect the traffic.
+	r2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(r2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Index.Version != 3 || st.Index.Points != 4 {
+		t.Fatalf("stats index = %+v, want version 3 with 4 points", st.Index)
+	}
+	if st.Index.Cache == nil || st.Index.Cache.Hits < 1 {
+		t.Fatalf("stats cache = %+v, want ≥ 1 hit", st.Index.Cache)
+	}
+
+	// The metrics page carries the library counters.
+	r3, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(r3.Body)
+	for _, want := range []string{"cache.hit", "server.requests", "rrq.solves"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// Typed validation errors map to 400 with a stable kind.
+func TestErrorMappingValidation(t *testing.T) {
+	ts := newTestServer(t, Config{Index: testIndex(t)})
+	cases := []struct {
+		name, path, body, kind string
+	}{
+		{"malformed json", "/v1/solve", `{"q":`, "query"},
+		{"bad k", "/v1/solve", `{"q":[0.4,0.7],"k":0,"epsilon":0.1}`, "query"},
+		{"bad epsilon", "/v1/solve", `{"q":[0.4,0.7],"k":2,"epsilon":1.5}`, "query"},
+		{"dimension mismatch", "/v1/solve", `{"q":[0.4,0.7,0.1],"k":2,"epsilon":0.1}`, "query"},
+		{"unknown field", "/v1/solve", `{"qq":[0.4]}`, "query"},
+		{"insert NaN-free dim mismatch", "/v1/insert", `{"point":[0.4]}`, "data"},
+		{"delete out of range", "/v1/delete", `{"index":99}`, "data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, b := postJSON(t, ts.URL+tc.path, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d: %s, want 400", resp.StatusCode, b)
+			}
+			if er := decodeError(t, b); er.Kind != tc.kind {
+				t.Fatalf("kind %q, want %q (%s)", er.Kind, tc.kind, b)
+			}
+		})
+	}
+}
+
+// A solver work-budget failure surfaces as 429 with kind "budget".
+func TestErrorMappingSolverBudget(t *testing.T) {
+	// The budget checks are amortized, so a toy market never trips them:
+	// find a query on which LP-CTA does real LP work (the resilience
+	// suite's precondition), then cap the budget far below it.
+	ds := rrq.SyntheticDataset(rrq.Independent, 300, 2, 13)
+	var q rrq.Point
+	for seed := int64(1); seed < 30; seed++ {
+		cand := ds.RandomQuery(seed)
+		res, err := rrq.SolveResult(ds, rrq.Query{Q: cand, K: 10, Epsilon: 0.2},
+			rrq.WithAlgorithm(rrq.LPCTAAlgo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Region.IsEmpty() && res.Stats.LPSolves > 200 {
+			q = cand
+			break
+		}
+	}
+	if q == nil {
+		t.Fatal("precondition: no query makes LP-CTA work hard enough")
+	}
+	ix, err := rrq.BuildIndex(ds, rrq.WithWorkBudget(50), rrq.WithAlgorithm(rrq.LPCTAAlgo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Config{Index: ix})
+	resp, b := postJSON(t, ts.URL+"/v1/solve",
+		fmt.Sprintf(`{"q":[%.17g,%.17g],"k":10,"epsilon":0.2}`, q[0], q[1]))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s, want 429", resp.StatusCode, b)
+	}
+	if er := decodeError(t, b); er.Kind != "budget" {
+		t.Fatalf("kind %q, want budget (%s)", er.Kind, b)
+	}
+}
+
+// A tenant in deficit is rejected 429/"budget" with Retry-After, and other
+// tenants are unaffected.
+func TestErrorMappingTenantBudget(t *testing.T) {
+	ts := newTestServer(t, Config{
+		Index:   testIndex(t),
+		Tenants: NewTenantBudgets(0.001, 1),
+	})
+	body := `{"q":[0.4,0.7],"k":2,"epsilon":0.1,"tenant":"alice"}`
+	resp, b := postJSON(t, ts.URL+"/v1/solve", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first tenant solve: %d %s", resp.StatusCode, b)
+	}
+	resp, b = postJSON(t, ts.URL+"/v1/solve", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("deficit tenant status %d: %s, want 429", resp.StatusCode, b)
+	}
+	er := decodeError(t, b)
+	if er.Kind != "budget" || er.RetryAfterS < 1 {
+		t.Fatalf("deficit tenant error %+v, want budget with Retry-After ≥ 1", er)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	// A different tenant still gets through.
+	resp, b = postJSON(t, ts.URL+"/v1/solve", `{"q":[0.4,0.7],"k":2,"epsilon":0.1,"tenant":"bob"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant status %d: %s, want 200", resp.StatusCode, b)
+	}
+}
+
+// Saturating the cap policy sheds with 429, kind "shed" and Retry-After.
+func TestErrorMappingShed(t *testing.T) {
+	inj := faultinject.New(&faultinject.Fault{
+		Point: faultinject.SolveStart,
+		Delay: 300 * time.Millisecond,
+	})
+	adm := NewAdmission(AdmitCap, 1, 0)
+	ts := newTestServer(t, Config{
+		Index:       testIndex(t),
+		Admission:   adm,
+		BaseContext: func() context.Context { return faultinject.ContextWith(context.Background(), inj) },
+	})
+	// Occupy the only slot with a slow solve...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, _ := postJSON(t, ts.URL+"/v1/solve", solveBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("slow solve status %d", resp.StatusCode)
+		}
+	}()
+	for i := 0; adm.Depth() == 0 && i < 100; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if adm.Depth() == 0 {
+		t.Fatal("slow solve never occupied the slot")
+	}
+	// ...so the next request is shed immediately.
+	resp, b := postJSON(t, ts.URL+"/v1/solve", `{"q":[0.35,0.8],"k":1,"epsilon":0.05}`)
+	wg.Wait()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s, want 429", resp.StatusCode, b)
+	}
+	er := decodeError(t, b)
+	if er.Kind != "shed" || er.RetryAfterS < 1 || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("shed error %+v (Retry-After %q), want shed with Retry-After", er, resp.Header.Get("Retry-After"))
+	}
+	if adm.Shed() != 1 {
+		t.Fatalf("shed counter = %d, want 1", adm.Shed())
+	}
+}
+
+// A panic inside the solver is isolated to its request: 500 with kind
+// "panic" and the degradation note, and the server keeps serving.
+func TestErrorMappingPanic(t *testing.T) {
+	inj := faultinject.New(&faultinject.Fault{
+		Point:  faultinject.SolveStart,
+		Panics: "injected failure",
+		Times:  1,
+	})
+	ts := newTestServer(t, Config{
+		Index:       testIndex(t),
+		BaseContext: func() context.Context { return faultinject.ContextWith(context.Background(), inj) },
+	})
+	resp, b := postJSON(t, ts.URL+"/v1/solve", solveBody)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d: %s, want 500", resp.StatusCode, b)
+	}
+	er := decodeError(t, b)
+	if er.Kind != "panic" {
+		t.Fatalf("kind %q, want panic (%s)", er.Kind, b)
+	}
+	if !strings.Contains(er.Note, "isolated") {
+		t.Fatalf("500 body missing the degradation note: %+v", er)
+	}
+	// The fault fired once; the server must still answer.
+	resp, b = postJSON(t, ts.URL+"/v1/solve", solveBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic solve status %d: %s, want 200", resp.StatusCode, b)
+	}
+}
+
+// Concurrent identical requests are coalesced into one solve.
+func TestSolveDedup(t *testing.T) {
+	inj := faultinject.New(&faultinject.Fault{
+		Point: faultinject.SolveStart,
+		Delay: 300 * time.Millisecond,
+	})
+	reg := rrq.NewRegistry()
+	adm := NewAdmission(AdmitAlways, 4, 0)
+	ts := newTestServer(t, Config{
+		Index:       testIndex(t, rrq.WithMetrics(reg)),
+		Metrics:     reg,
+		Admission:   adm,
+		BaseContext: func() context.Context { return faultinject.ContextWith(context.Background(), inj) },
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leader solveResponse
+	go func() {
+		defer wg.Done()
+		_, b := postJSON(t, ts.URL+"/v1/solve", solveBody)
+		leader = decodeSolve(t, b)
+	}()
+	for i := 0; adm.Depth() == 0 && i < 100; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, b := postJSON(t, ts.URL+"/v1/solve", solveBody)
+	follower := decodeSolve(t, b)
+	wg.Wait()
+	if !follower.Deduped && !leader.Deduped {
+		t.Fatal("concurrent identical requests were not coalesced")
+	}
+	if !bytes.Equal(leader.Region, follower.Region) {
+		t.Fatal("coalesced requests returned different regions")
+	}
+	if reg.Counter("server.dedup").Value() < 1 {
+		t.Fatalf("server.dedup = %d, want ≥ 1", reg.Counter("server.dedup").Value())
+	}
+}
+
+// GET on mutation endpoints is rejected.
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t, Config{Index: testIndex(t)})
+	for _, path := range []string{"/v1/solve", "/v1/insert", "/v1/delete"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s = %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+// Admission under the always policy queues instead of shedding.
+func TestAdmissionAlwaysQueues(t *testing.T) {
+	a := NewAdmission(AdmitAlways, 1, 0)
+	rel1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		rel2, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			close(done)
+			return
+		}
+		rel2(time.Millisecond)
+		close(done)
+	}()
+	for i := 0; a.Depth() != 2 && i < 100; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("second acquire got a slot while the first held it")
+	default:
+	}
+	rel1(time.Millisecond)
+	<-done
+	if a.Shed() != 0 {
+		t.Fatalf("always policy shed %d requests", a.Shed())
+	}
+	if a.Depth() != 0 {
+		t.Fatalf("depth = %d after all releases", a.Depth())
+	}
+}
+
+// A queued request can abandon the wait via its context.
+func TestAdmissionContextCancel(t *testing.T) {
+	a := NewAdmission(AdmitAlways, 1, 0)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		errc <- err
+	}()
+	for i := 0; a.Depth() != 2 && i < 100; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled acquire returned %v", err)
+	}
+	if a.Depth() != 1 {
+		t.Fatalf("depth = %d after canceled waiter left", a.Depth())
+	}
+	rel(time.Millisecond)
+}
+
+// ParseAdmissionPolicy round-trips the two policies and rejects others.
+func TestParseAdmissionPolicy(t *testing.T) {
+	for _, s := range []string{"always", "cap"} {
+		p, err := ParseAdmissionPolicy(s)
+		if err != nil || string(p) != s {
+			t.Fatalf("ParseAdmissionPolicy(%q) = %v, %v", s, p, err)
+		}
+	}
+	if _, err := ParseAdmissionPolicy("never"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// Post-paid metering: expensive work drives the balance negative, the
+// deficit drains at the refill rate.
+func TestTenantBudgetsPostPaid(t *testing.T) {
+	tb := NewTenantBudgets(10, 5) // 10 units/s, burst 5
+	base := time.Unix(1000, 0)
+	if _, err := tb.Admit("t", base); err != nil {
+		t.Fatalf("fresh tenant rejected: %v", err)
+	}
+	tb.Charge("t", 25, base) // balance 5 → −20
+	retry, err := tb.Admit("t", base)
+	if err == nil {
+		t.Fatal("deficit tenant admitted")
+	}
+	if retry < time.Second || retry > 3*time.Second {
+		t.Fatalf("retry = %v, want ≈ 2s (20 units at 10/s)", retry)
+	}
+	// After the deficit drains, the tenant is admitted again.
+	if _, err := tb.Admit("t", base.Add(3*time.Second)); err != nil {
+		t.Fatalf("drained tenant still rejected: %v", err)
+	}
+	// Metering disabled: everything is admitted.
+	if _, err := NewTenantBudgets(0, 0).Admit("t", base); err != nil {
+		t.Fatalf("disabled meter rejected: %v", err)
+	}
+}
+
+// WorkUnits floors at one unit and sums the solver counters.
+func TestWorkUnits(t *testing.T) {
+	if n := WorkUnits(rrq.Stats{}); n != 1 {
+		t.Fatalf("empty stats = %d units, want 1", n)
+	}
+	st := rrq.Stats{PlanesBuilt: 10, NodesCreated: 5, LPSolves: 2, Samples: 3}
+	if n := WorkUnits(st); n != 20 {
+		t.Fatalf("units = %d, want 20", n)
+	}
+}
+
+// The flight group runs one fn per key and shares the result.
+func TestFlightGroup(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	block := make(chan struct{})
+	var calls int
+	go g.Do("k", func() (rrq.Result, error) {
+		calls++
+		close(started)
+		<-block
+		return rrq.Result{}, fmt.Errorf("shared outcome")
+	})
+	<-started
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, shared, err := g.Do("k", func() (rrq.Result, error) {
+				t.Error("follower ran the function")
+				return rrq.Result{}, nil
+			})
+			if !shared || err == nil || err.Error() != "shared outcome" {
+				t.Errorf("follower: shared=%v err=%v", shared, err)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let followers join the flight
+	close(block)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("leader ran %d times", calls)
+	}
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"rrq/internal/core"
+)
+
+// TenantBudgets meters solver work per tenant with post-paid token
+// buckets: admission only requires a non-negative balance, and the actual
+// work units a solve consumed (the same units WithWorkBudget counts) are
+// charged afterwards — so one expensive query can drive a tenant's balance
+// negative, and the tenant then waits out the deficit at the refill rate.
+// Post-paid metering avoids guessing a query's cost up front, which for
+// reverse regret queries varies by orders of magnitude with (k, ε).
+//
+// A rejected tenant gets a *core.BudgetError — the same type a per-query
+// work budget raises, so clients handle both identically (HTTP 429) — plus
+// a Retry-After covering the deficit.
+type TenantBudgets struct {
+	rate  float64 // work units refilled per second
+	burst float64 // bucket capacity (and starting balance)
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewTenantBudgets builds a meter refilling rate work units per second up
+// to a burst-sized balance. rate ≤ 0 or burst ≤ 0 disables metering (every
+// Admit succeeds).
+func NewTenantBudgets(rate, burst float64) *TenantBudgets {
+	return &TenantBudgets{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+func (tb *TenantBudgets) enabled() bool { return tb != nil && tb.rate > 0 && tb.burst > 0 }
+
+// refillLocked advances the tenant's bucket to now.
+func (tb *TenantBudgets) refillLocked(b *bucket, now time.Time) {
+	b.tokens += now.Sub(b.last).Seconds() * tb.rate
+	if b.tokens > tb.burst {
+		b.tokens = tb.burst
+	}
+	b.last = now
+}
+
+// bucketLocked returns the tenant's bucket, creating it full.
+func (tb *TenantBudgets) bucketLocked(tenant string, now time.Time) *bucket {
+	b, ok := tb.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: tb.burst, last: now}
+		tb.buckets[tenant] = b
+	}
+	return b
+}
+
+// Admit decides whether the tenant may start a solve at now. A tenant in
+// deficit is rejected with a *core.BudgetError and the duration after
+// which the balance turns non-negative again. The empty tenant name is a
+// valid (shared, anonymous) tenant.
+func (tb *TenantBudgets) Admit(tenant string, now time.Time) (retryAfter time.Duration, err error) {
+	if !tb.enabled() {
+		return 0, nil
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	b := tb.bucketLocked(tenant, now)
+	tb.refillLocked(b, now)
+	if b.tokens >= 0 {
+		return 0, nil
+	}
+	wait := time.Duration(-b.tokens / tb.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return wait.Round(time.Second), &core.BudgetError{Limit: int64(tb.burst), Spent: int64(tb.burst - b.tokens)}
+}
+
+// Charge debits the work a finished solve actually consumed.
+func (tb *TenantBudgets) Charge(tenant string, units int64, now time.Time) {
+	if !tb.enabled() {
+		return
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	b := tb.bucketLocked(tenant, now)
+	tb.refillLocked(b, now)
+	b.tokens -= float64(units)
+}
+
+// WorkUnits converts a solve's Stats into charged work units — the sum of
+// the per-solver counters the amortized budget checks count, floored at 1
+// so even a trivially small solve is metered.
+func WorkUnits(st core.Stats) int64 {
+	n := int64(st.PlanesBuilt) + int64(st.NodesCreated) + int64(st.Splits) +
+		int64(st.LPSolves) + int64(st.Samples)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,341 @@
+// Package sim is the closed-loop workload simulator for the serving stack:
+// it drives the exact admission controller and tenant meter the rrqd server
+// deploys — HTTP-free — against an rrq.Index, replaying a seeded stream of
+// mixed (k, ε) queries and reporting per-policy latency percentiles, shed
+// rate and cache effectiveness.
+//
+// Two arrival models are supported. The closed loop (default) runs a fixed
+// number of clients, each issuing its next query as soon as the previous
+// one resolves — throughput self-limits to what the index sustains. The
+// open loop spawns arrivals at a fixed rate with exponential interarrival
+// gaps regardless of completions, which is what actually overloads a server
+// and makes the "always" vs "cap" admission policies diverge.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"rrq"
+	"rrq/internal/server"
+)
+
+// Workload describes a seeded query stream over a dataset: mixed ranks
+// drawn from [KMin, KMax], tolerances drawn from the quantized EpsLevels
+// (quantization is deliberate — it makes exact cache hits possible), and a
+// Repeat probability of re-issuing an earlier query verbatim, the locality
+// knob that separates warm-cache from cold-cache scenarios.
+type Workload struct {
+	Queries   int       // stream length
+	KMin      int       // inclusive rank range...
+	KMax      int       // ...mixed per query
+	EpsLevels []float64 // quantized regret tolerances
+	Repeat    float64   // probability a query repeats an earlier one
+	Seed      int64     // stream seed; same seed, same stream
+}
+
+// Generate materializes the deterministic query stream.
+func (w Workload) Generate(ds *rrq.Dataset) []rrq.Query {
+	if w.Queries <= 0 {
+		return nil
+	}
+	kmin, kmax := w.KMin, w.KMax
+	if kmin <= 0 {
+		kmin = 1
+	}
+	if kmax < kmin {
+		kmax = kmin
+	}
+	levels := w.EpsLevels
+	if len(levels) == 0 {
+		levels = []float64{0.1}
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	qs := make([]rrq.Query, 0, w.Queries)
+	for i := 0; i < w.Queries; i++ {
+		if len(qs) > 0 && rng.Float64() < w.Repeat {
+			qs = append(qs, qs[rng.Intn(len(qs))])
+			continue
+		}
+		qs = append(qs, rrq.Query{
+			Q:       ds.RandomQuery(w.Seed + int64(i)*7919),
+			K:       kmin + rng.Intn(kmax-kmin+1),
+			Epsilon: levels[rng.Intn(len(levels))],
+		})
+	}
+	return qs
+}
+
+// Config wires one simulation run. Index, Admission and Queries are
+// required; everything else defaults sensibly.
+type Config struct {
+	Index     *rrq.Index
+	Admission *server.Admission
+	Tenants   *server.TenantBudgets // optional post-paid work metering
+
+	Queries []rrq.Query
+
+	// Clients is the closed-loop concurrency (default 1). Ignored when
+	// ArrivalRate selects the open loop.
+	Clients int
+
+	// ArrivalRate > 0 switches to the open loop: arrivals per second with
+	// exponential interarrival gaps seeded by ArrivalSeed.
+	ArrivalRate float64
+	ArrivalSeed int64
+
+	// TenantCount spreads requests round-robin over this many synthetic
+	// tenants ("t0", "t1", ...) when Tenants is set. Default 1.
+	TenantCount int
+
+	// Timeout bounds each request's context (queue wait + solve). 0 = none.
+	Timeout time.Duration
+}
+
+// Report aggregates one run. Latency percentiles cover completed solves
+// only and include queue wait — the latency a client actually observed.
+type Report struct {
+	Policy         string  `json:"policy"`
+	Requests       int     `json:"requests"`
+	Solved         int     `json:"solved"`
+	Shed           int     `json:"shed"`
+	TenantRejected int     `json:"tenant_rejected"`
+	Failed         int     `json:"failed"`
+	CacheHits      int     `json:"cache_hits"`
+	CacheBounds    int     `json:"cache_bound_hits"`
+	ElapsedNs      int64   `json:"elapsed_ns"`
+	P50Ns          int64   `json:"p50_ns"`
+	P99Ns          int64   `json:"p99_ns"`
+	MeanNs         int64   `json:"mean_ns"`
+	MaxNs          int64   `json:"max_ns"`
+	QPS            float64 `json:"solved_per_sec"`
+	ShedRate       float64 `json:"shed_rate"`
+}
+
+// outcome codes recorded per request slot.
+const (
+	ocPending = iota
+	ocSolved
+	ocSolvedCacheHit
+	ocSolvedCacheBound
+	ocShed
+	ocTenantRejected
+	ocFailed
+)
+
+// runner owns the per-request slots; slot i is written only by the
+// goroutine that claimed query i, so aggregation needs no locks.
+type runner struct {
+	cfg     Config
+	outcome []uint8
+	latNs   []int64
+}
+
+// Run replays cfg.Queries through the admission controller and index and
+// aggregates the outcome. The context cancels the whole run.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.Index == nil {
+		return Report{}, errors.New("sim: Config.Index is required")
+	}
+	if cfg.Admission == nil {
+		return Report{}, errors.New("sim: Config.Admission is required")
+	}
+	if len(cfg.Queries) == 0 {
+		return Report{}, errors.New("sim: empty query stream")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.TenantCount <= 0 {
+		cfg.TenantCount = 1
+	}
+	r := &runner{
+		cfg:     cfg,
+		outcome: make([]uint8, len(cfg.Queries)),
+		latNs:   make([]int64, len(cfg.Queries)),
+	}
+
+	start := time.Now()
+	if cfg.ArrivalRate > 0 {
+		r.openLoop(ctx)
+	} else {
+		r.closedLoop(ctx)
+	}
+	return r.report(time.Since(start)), nil
+}
+
+// closedLoop runs Clients workers, each claiming the next unclaimed query
+// as soon as its previous request resolves.
+func (r *runner) closedLoop(ctx context.Context) {
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range r.cfg.Queries {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for c := 0; c < r.cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r.do(ctx, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// openLoop spawns one goroutine per arrival, paced by seeded exponential
+// interarrival gaps, regardless of how many requests are still in flight.
+func (r *runner) openLoop(ctx context.Context) {
+	rng := rand.New(rand.NewSource(r.cfg.ArrivalSeed))
+	var wg sync.WaitGroup
+	for i := range r.cfg.Queries {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.do(ctx, i)
+		}(i)
+		gap := time.Duration(rng.ExpFloat64() / r.cfg.ArrivalRate * float64(time.Second))
+		select {
+		case <-time.After(gap):
+		case <-ctx.Done():
+		}
+	}
+	wg.Wait()
+}
+
+// do issues request i: tenant admission, controller admission, solve.
+func (r *runner) do(ctx context.Context, i int) {
+	cfg := r.cfg
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	tenant := "t" + strconv.Itoa(i%cfg.TenantCount)
+	start := time.Now()
+	if cfg.Tenants != nil {
+		if _, err := cfg.Tenants.Admit(tenant, start); err != nil {
+			r.outcome[i] = ocTenantRejected
+			return
+		}
+	}
+	release, err := cfg.Admission.Acquire(ctx)
+	if err != nil {
+		var shed *server.ShedError
+		if errors.As(err, &shed) {
+			r.outcome[i] = ocShed
+		} else {
+			r.outcome[i] = ocFailed
+		}
+		return
+	}
+	solveStart := time.Now()
+	res, err := cfg.Index.SolveContext(ctx, cfg.Queries[i])
+	release(time.Since(solveStart))
+	r.latNs[i] = time.Since(start).Nanoseconds()
+	if err != nil {
+		r.outcome[i] = ocFailed
+		return
+	}
+	if cfg.Tenants != nil {
+		cfg.Tenants.Charge(tenant, server.WorkUnits(res.Stats), time.Now())
+	}
+	switch res.Cache {
+	case rrq.CacheHit:
+		r.outcome[i] = ocSolvedCacheHit
+	case rrq.CacheInner, rrq.CacheOuter:
+		r.outcome[i] = ocSolvedCacheBound
+	default:
+		r.outcome[i] = ocSolved
+	}
+}
+
+// report folds the per-slot outcomes into the aggregate.
+func (r *runner) report(elapsed time.Duration) Report {
+	rep := Report{
+		Policy:    string(r.cfg.Admission.Policy()),
+		Requests:  len(r.cfg.Queries),
+		ElapsedNs: elapsed.Nanoseconds(),
+	}
+	var lats []int64
+	for i, oc := range r.outcome {
+		switch oc {
+		case ocSolved, ocSolvedCacheHit, ocSolvedCacheBound:
+			rep.Solved++
+			lats = append(lats, r.latNs[i])
+			if oc == ocSolvedCacheHit {
+				rep.CacheHits++
+			} else if oc == ocSolvedCacheBound {
+				rep.CacheBounds++
+			}
+		case ocShed:
+			rep.Shed++
+		case ocTenantRejected:
+			rep.TenantRejected++
+		default:
+			rep.Failed++
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		var sum int64
+		for _, l := range lats {
+			sum += l
+		}
+		rep.P50Ns = percentile(lats, 0.50)
+		rep.P99Ns = percentile(lats, 0.99)
+		rep.MeanNs = sum / int64(len(lats))
+		rep.MaxNs = lats[len(lats)-1]
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Solved) / elapsed.Seconds()
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	return rep
+}
+
+// percentile reads the p-quantile from an ascending-sorted slice by the
+// nearest-rank method.
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders the report as the one-line summary rrqsim prints.
+func (rep Report) String() string {
+	return fmt.Sprintf(
+		"policy=%s requests=%d solved=%d shed=%d (%.0f%%) rejected=%d failed=%d cache=%d+%d p50=%v p99=%v qps=%.0f",
+		rep.Policy, rep.Requests, rep.Solved, rep.Shed, 100*rep.ShedRate,
+		rep.TenantRejected, rep.Failed, rep.CacheHits, rep.CacheBounds,
+		time.Duration(rep.P50Ns).Round(time.Microsecond),
+		time.Duration(rep.P99Ns).Round(time.Microsecond),
+		rep.QPS)
+}

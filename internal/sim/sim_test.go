@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rrq"
+	"rrq/internal/faultinject"
+	"rrq/internal/server"
+)
+
+func simIndex(t *testing.T, cacheSize int) (*rrq.Dataset, *rrq.Index) {
+	t.Helper()
+	ds := rrq.SyntheticDataset(rrq.Independent, 200, 2, 11)
+	opts := []rrq.Option{rrq.WithAlgorithm(rrq.SweepingAlgo)}
+	if cacheSize > 0 {
+		opts = append(opts, rrq.WithResultCache(cacheSize))
+	}
+	ix, err := rrq.BuildIndex(ds, opts...)
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	return ds, ix
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	ds, _ := simIndex(t, 0)
+	w := Workload{Queries: 50, KMin: 2, KMax: 6, EpsLevels: []float64{0.05, 0.1, 0.2}, Repeat: 0.4, Seed: 7}
+	a, b := w.Generate(ds), w.Generate(ds)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("stream lengths %d, %d, want 50", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatalf("query %d differs across same-seed generations:\n  %s\n  %s", i, a[i].Key(), b[i].Key())
+		}
+		if a[i].K < 2 || a[i].K > 6 {
+			t.Fatalf("query %d rank %d outside [2,6]", i, a[i].K)
+		}
+	}
+	other := Workload{Queries: 50, KMin: 2, KMax: 6, EpsLevels: []float64{0.05, 0.1, 0.2}, Repeat: 0.4, Seed: 8}.Generate(ds)
+	diff := 0
+	for i := range a {
+		if a[i].Key() != other[i].Key() {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds generated identical streams")
+	}
+}
+
+func TestGenerateRepeatsCreateLocality(t *testing.T) {
+	ds, _ := simIndex(t, 0)
+	qs := Workload{Queries: 100, KMin: 3, KMax: 5, EpsLevels: []float64{0.1}, Repeat: 0.6, Seed: 3}.Generate(ds)
+	seen := make(map[string]bool)
+	repeats := 0
+	for _, q := range qs {
+		if seen[q.Key()] {
+			repeats++
+		}
+		seen[q.Key()] = true
+	}
+	if repeats < 20 {
+		t.Fatalf("Repeat=0.6 produced only %d repeated queries out of 100", repeats)
+	}
+}
+
+func TestClosedLoopAlwaysPolicySolvesEverything(t *testing.T) {
+	ds, ix := simIndex(t, 256)
+	qs := Workload{Queries: 60, KMin: 2, KMax: 5, EpsLevels: []float64{0.05, 0.1}, Repeat: 0.5, Seed: 1}.Generate(ds)
+	rep, err := Run(context.Background(), Config{
+		Index:     ix,
+		Admission: server.NewAdmission(server.AdmitAlways, 2, 0),
+		Queries:   qs,
+		Clients:   4,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Solved != 60 || rep.Shed != 0 || rep.Failed != 0 {
+		t.Fatalf("always policy: solved=%d shed=%d failed=%d, want 60/0/0", rep.Solved, rep.Shed, rep.Failed)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatalf("Repeat=0.5 workload over a cached index produced no cache hits: %+v", rep)
+	}
+	if rep.P50Ns <= 0 || rep.P99Ns < rep.P50Ns || rep.MaxNs < rep.P99Ns {
+		t.Fatalf("implausible percentiles: p50=%d p99=%d max=%d", rep.P50Ns, rep.P99Ns, rep.MaxNs)
+	}
+	if rep.Policy != "always" {
+		t.Fatalf("Policy = %q, want always", rep.Policy)
+	}
+}
+
+func TestWarmCacheBeatsNoCache(t *testing.T) {
+	ds, cold := simIndex(t, 0)
+	_, warm := simIndex(t, 256)
+	qs := Workload{Queries: 80, KMin: 2, KMax: 4, EpsLevels: []float64{0.1}, Repeat: 0.7, Seed: 5}.Generate(ds)
+	run := func(ix *rrq.Index) Report {
+		rep, err := Run(context.Background(), Config{
+			Index:     ix,
+			Admission: server.NewAdmission(server.AdmitAlways, 4, 0),
+			Queries:   qs,
+			Clients:   4,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rep
+	}
+	coldRep, warmRep := run(cold), run(warm)
+	if coldRep.CacheHits != 0 {
+		t.Fatalf("no-cache index reported %d cache hits", coldRep.CacheHits)
+	}
+	if warmRep.CacheHits == 0 {
+		t.Fatalf("cached index reported no hits on a Repeat=0.7 stream")
+	}
+	if coldRep.Solved != 80 || warmRep.Solved != 80 {
+		t.Fatalf("solved %d/%d, want 80/80", coldRep.Solved, warmRep.Solved)
+	}
+}
+
+func TestOpenLoopCapPolicySheds(t *testing.T) {
+	ds, ix := simIndex(t, 0)
+	qs := Workload{Queries: 40, KMin: 3, KMax: 6, EpsLevels: []float64{0.1}, Repeat: 0, Seed: 9}.Generate(ds)
+	// One solve slot, zero queue, and — because a 200-point 2-d sweep
+	// resolves in microseconds, faster than arrivals can pile up — a 20ms
+	// injected delay per solve so requests genuinely overlap. At 20k
+	// arrivals/s the whole stream lands while the first solve still holds
+	// the slot: the cap policy must shed, and the outcomes must account
+	// for every request.
+	ctx := faultinject.ContextWith(context.Background(),
+		faultinject.New(&faultinject.Fault{Point: faultinject.SolveStart, Delay: 20 * time.Millisecond}))
+	rep, err := Run(ctx, Config{
+		Index:       ix,
+		Admission:   server.NewAdmission(server.AdmitCap, 1, 0),
+		Queries:     qs,
+		ArrivalRate: 20000,
+		ArrivalSeed: 2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := rep.Solved + rep.Shed + rep.TenantRejected + rep.Failed; got != rep.Requests {
+		t.Fatalf("outcomes %d don't sum to requests %d: %+v", got, rep.Requests, rep)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("cap policy with capacity=1 queue=0 at 20k arrivals/s shed nothing: %+v", rep)
+	}
+	if rep.ShedRate <= 0 || rep.ShedRate > 1 {
+		t.Fatalf("shed rate %v out of range", rep.ShedRate)
+	}
+}
+
+func TestTenantMeteringRejects(t *testing.T) {
+	ds, ix := simIndex(t, 0)
+	qs := Workload{Queries: 30, KMin: 5, KMax: 8, EpsLevels: []float64{0.2}, Repeat: 0, Seed: 4}.Generate(ds)
+	// A starvation-level budget: one tenant, tiny burst, near-zero refill.
+	// The first solve charges real work units and drives the balance
+	// negative; later requests must be rejected.
+	rep, err := Run(context.Background(), Config{
+		Index:       ix,
+		Admission:   server.NewAdmission(server.AdmitAlways, 2, 0),
+		Tenants:     server.NewTenantBudgets(0.001, 1),
+		TenantCount: 1,
+		Queries:     qs,
+		Clients:     1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TenantRejected == 0 {
+		t.Fatalf("starved tenant was never rejected: %+v", rep)
+	}
+	if rep.Solved == 0 {
+		t.Fatalf("no request solved before the budget drained: %+v", rep)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	_, ix := simIndex(t, 0)
+	adm := server.NewAdmission(server.AdmitAlways, 1, 0)
+	if _, err := Run(context.Background(), Config{Admission: adm, Queries: []rrq.Query{{}}}); err == nil {
+		t.Fatal("nil Index accepted")
+	}
+	if _, err := Run(context.Background(), Config{Index: ix, Queries: []rrq.Query{{}}}); err == nil {
+		t.Fatal("nil Admission accepted")
+	}
+	if _, err := Run(context.Background(), Config{Index: ix, Admission: adm}); err == nil {
+		t.Fatal("empty query stream accepted")
+	}
+}
+
+func TestRunRespectsContextCancel(t *testing.T) {
+	ds, ix := simIndex(t, 0)
+	qs := Workload{Queries: 200, KMin: 2, KMax: 4, EpsLevels: []float64{0.1}, Repeat: 0, Seed: 6}.Generate(ds)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Report, 1)
+	go func() {
+		rep, _ := Run(ctx, Config{
+			Index:     ix,
+			Admission: server.NewAdmission(server.AdmitAlways, 1, 0),
+			Queries:   qs,
+			Clients:   2,
+		})
+		done <- rep
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after context cancel")
+	}
+}

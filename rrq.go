@@ -8,8 +8,8 @@
 // # Quick start
 //
 //	ds, _ := rrq.NewDataset([][]float64{{0.2, 0.92}, {0.7, 0.54}, {0.6, 0.3}})
-//	region, _ := rrq.Solve(ds, rrq.Query{Q: rrq.Point{0.4, 0.7}, K: 2, Epsilon: 0.1})
-//	share := region.Measure(20000) // fraction of preference space won
+//	res, _ := rrq.SolveResult(ds, rrq.Query{Q: rrq.Point{0.4, 0.7}, K: 2, Epsilon: 0.1})
+//	share := res.Region.Measure(20000) // fraction of preference space won
 //
 // Three solvers from the paper are available: Sweeping (d = 2, linear
 // time), E-PT (exact, any d) and A-PC (approximate, faster). The two
@@ -124,6 +124,19 @@ func (q Query) toCore() core.Query {
 	return core.Query{Q: vec.Vec(q.Q), K: q.K, Eps: q.Epsilon}
 }
 
+// Key returns the canonical comparable form of the query: a compact string
+// that is equal exactly when two queries have the same point, K and
+// Epsilon (bit-for-bit on the floats). It is the key the result cache,
+// per-tenant accounting and request deduplication agree on — use it
+// anywhere a query is hashed or grouped instead of re-deriving an ad-hoc
+// encoding. The key is stable within a process but not a display format;
+// use String for logs.
+func (q Query) Key() string { return q.toCore().Key() }
+
+// String formats the query for logs and error messages, e.g.
+// "q=(0.4,0.7) k=2 eps=0.1".
+func (q Query) String() string { return q.toCore().String() }
+
 // QueryError is the typed validation error returned by every entry point
 // for a malformed query; match it with errors.As. Field names the
 // offending parameter: "q", "k", "epsilon" or "dim".
@@ -186,11 +199,56 @@ type Stats = core.Stats
 // (WithFallback) it records why the primary failed and which fallback
 // solver produced the region. Stats then cover every attempt the query
 // cost, not just the successful one.
+//
+// Cache reports how the result cache participated (CacheBypass when no
+// cache is configured). For a bound-served answer (CacheInner/CacheOuter)
+// CacheSource names the cached query whose region was served; the region
+// then bounds, rather than equals, the true answer — see WithCacheBounds.
 type Result struct {
-	Region   *Region
-	Stats    Stats
-	Elapsed  time.Duration
-	Degraded *Degradation
+	Region      *Region
+	Stats       Stats
+	Elapsed     time.Duration
+	Degraded    *Degradation
+	Cache       CacheStatus
+	CacheSource *Query
+}
+
+// CacheStatus reports the result cache's involvement in one solve.
+type CacheStatus int
+
+const (
+	// CacheBypass: no result cache configured, or the serving path cannot
+	// cache (approximate or degraded answers).
+	CacheBypass CacheStatus = iota
+	// CacheMiss: the cache was consulted, missed, and stored the fresh
+	// answer.
+	CacheMiss
+	// CacheHit: the answer was served from the cache, byte-identical to a
+	// fresh solve on the same snapshot.
+	CacheHit
+	// CacheInner: the region is a sound inner bound (subset of the true
+	// region), served from the cached neighbor in CacheSource.
+	CacheInner
+	// CacheOuter: the region is a sound outer bound (superset of the true
+	// region), served from the cached neighbor in CacheSource.
+	CacheOuter
+)
+
+func (s CacheStatus) String() string {
+	switch s {
+	case CacheBypass:
+		return "bypass"
+	case CacheMiss:
+		return "miss"
+	case CacheHit:
+		return "hit"
+	case CacheInner:
+		return "inner-bound"
+	case CacheOuter:
+		return "outer-bound"
+	default:
+		return fmt.Sprintf("CacheStatus(%d)", int(s))
+	}
 }
 
 // Event is one observability event emitted during a solve; see WithTrace.
@@ -243,6 +301,8 @@ type config struct {
 	kmax         int
 	treeNodes    int
 	treeServe    bool
+	cacheSize    int
+	cacheBounds  bool
 }
 
 // obsContext attaches the configured trace hook and metrics registry to ctx
@@ -356,6 +416,32 @@ func WithFallback(algos ...Algorithm) Option {
 	return func(c *config) { c.fallbacks = append([]Algorithm(nil), algos...) }
 }
 
+// WithResultCache gives an Index a bounded LRU result cache of n entries
+// (n ≤ 0 disables it, the default). Cached entries are keyed on the
+// snapshot epoch, the serving path and Query.Key, so a repeat of an exact,
+// non-degraded query on an unchanged index is answered without solving —
+// byte-identical to the fresh answer, because the cache stores the fresh
+// answer. Mutations invalidate for free: Insert/Delete publish a new epoch
+// whose keys never match the old generation (which is pruned eagerly).
+// Approximate (A-PC) and degraded answers are never cached. With
+// WithMetrics, traffic shows as "cache.hit" / "cache.miss" /
+// "cache.bound_served". The option only affects Index solving; Solve and
+// Prepare over a plain Dataset ignore it.
+func WithResultCache(n int) Option { return func(c *config) { c.cacheSize = n } }
+
+// WithCacheBounds additionally lets the cache answer a query it has never
+// seen from a cached neighbor on the same query point, exploiting the
+// monotonicity the differential harness verifies: the qualified region
+// only grows as K or Epsilon grows. A cached (k′ ≤ K, ε′ ≤ Epsilon) answer
+// is served as a sound inner bound (Result.Cache = CacheInner: every
+// preference in the region qualifies), a cached (k′ ≥ K, ε′ ≥ Epsilon)
+// answer as a sound outer bound (CacheOuter: every qualifying preference
+// is in the region); ε′ = 0 entries — cached ReverseTopK answers — are the
+// natural inner seeds. Bound-served results trade exactness for zero
+// solving work, so the option is off by default; callers must check
+// Result.Cache before treating the region as exact.
+func WithCacheBounds(on bool) Option { return func(c *config) { c.cacheBounds = on } }
+
 // WithMetrics accumulates phase timings and solve counters into reg: each
 // solver phase (e.g. "phase.ept.insert") gets a histogram timer, and the
 // serving layer maintains "rrq.solves" / "rrq.solve_errors" counters. The
@@ -364,17 +450,21 @@ func WithFallback(algos ...Algorithm) Option {
 // disables metrics.
 func WithMetrics(reg *Registry) Option { return func(c *config) { c.metrics = reg } }
 
+// resolvedAlgo maps Auto to the concrete solver choice for the dimension —
+// the name the result cache keys serving paths by.
+func resolvedAlgo(cfg config, dim int) Algorithm {
+	if cfg.algo == Auto {
+		if dim == 2 {
+			return SweepingAlgo
+		}
+		return EPTAlgo
+	}
+	return cfg.algo
+}
+
 // solverFor maps the configured algorithm to its core.Solver.
 func solverFor(cfg config, dim int) (core.Solver, error) {
-	algo := cfg.algo
-	if algo == Auto {
-		if dim == 2 {
-			algo = SweepingAlgo
-		} else {
-			algo = EPTAlgo
-		}
-	}
-	switch algo {
+	switch algo := resolvedAlgo(cfg, dim); algo {
 	case SweepingAlgo:
 		return core.SweepingSolver{}, nil
 	case EPTAlgo:
@@ -417,14 +507,27 @@ func policyFor(cfg config, dim int) (core.SolvePolicy, error) {
 	return pol, nil
 }
 
-// Solve answers the reverse regret query over the dataset — the plain form
-// of SolveContext for callers that want only the region.
+// Solve answers the reverse regret query over the dataset and returns only
+// the region.
+//
+// Deprecated: Solve is the historical entry point from before Result
+// existed and is the one solve variant that discards the work counters,
+// elapsed time and degradation record. Use SolveResult (same call shape,
+// full Result) or SolveContext (Result under a context). Solve remains
+// functional — it is SolveResult with the region extracted.
 func Solve(d *Dataset, q Query, opts ...Option) (*Region, error) {
-	res, err := SolveContext(context.Background(), d, q, opts...)
+	res, err := SolveResult(d, q, opts...)
 	if err != nil {
 		return nil, err
 	}
 	return res.Region, nil
+}
+
+// SolveResult answers the reverse regret query over the dataset — the
+// plain (background-context) form of SolveContext, returning the full
+// Result: region, work counters, elapsed time and degradation record.
+func SolveResult(d *Dataset, q Query, opts ...Option) (Result, error) {
+	return SolveContext(context.Background(), d, q, opts...)
 }
 
 // SolveContext answers the reverse regret query under a context and returns
@@ -489,7 +592,11 @@ const (
 // preference space on which q ranks within the top k. It equals the
 // reverse regret query at ε = 0.
 func ReverseTopK(d *Dataset, q Point, k int) (*Region, error) {
-	return Solve(d, Query{Q: q, K: k, Epsilon: 0}, WithAlgorithm(EPTAlgo))
+	res, err := SolveResult(d, Query{Q: q, K: k, Epsilon: 0}, WithAlgorithm(EPTAlgo))
+	if err != nil {
+		return nil, err
+	}
+	return res.Region, nil
 }
 
 // RegretRatio computes the k-regret ratio of q under utility vector u
