@@ -82,6 +82,12 @@ func (p *Prepared) Solve(ctx context.Context, q Query) (Result, error) {
 type BatchResult struct {
 	Result
 	Err error
+	// Dedup marks a slot whose query was an exact duplicate (equal
+	// Query.Key) of an earlier one in the batch: the result is a copy of
+	// that single solve (regions are immutable and safely shared), Stats
+	// describe the shared solve, and Elapsed is zero — no work ran for this
+	// slot. See WithBatchSharing.
+	Dedup bool
 }
 
 // BatchReport aggregates a whole batch: the per-query results in input
@@ -101,8 +107,11 @@ type BatchReport struct {
 	Agg Stats
 	// Solved and Failed count the queries that returned a region vs. an
 	// error. Degraded counts the subset of Solved whose region came from
-	// the fallback chain (see WithFallback).
-	Solved, Failed, Degraded int
+	// the fallback chain (see WithFallback). Deduped counts the slots
+	// answered by copying an exact duplicate's solve; their copied Stats
+	// still sum into Agg (Agg describes the answers delivered), while the
+	// work actually saved shows in QueryTime, where a deduped slot is zero.
+	Solved, Failed, Degraded, Deduped int
 	// Phases maps solver phase names (e.g. "phase.ept.insert") to timing
 	// histograms covering exactly this batch. Nil unless WithMetrics was
 	// set at Prepare time.
@@ -113,7 +122,11 @@ type BatchReport struct {
 // preprocessing, using the worker count fixed at Prepare time (WithWorkers;
 // ≤ 0 means GOMAXPROCS). WithIntraQueryWorkers additionally parallelizes
 // the inside of each solve; the two multiply, so keep workers × intra near
-// GOMAXPROCS. Results arrive in query order regardless of scheduling. When ctx is canceled mid-batch, in-flight solves abort at
+// GOMAXPROCS. Results arrive in query order regardless of scheduling.
+// Unless WithBatchSharing(false) was set, the batch amortizes work across
+// its queries — duplicate collapse, one shared skyband pass, per-(point, ε)
+// plane groups, clustered dispatch and per-worker scratch arenas — with
+// answers byte-identical to independent solves. When ctx is canceled mid-batch, in-flight solves abort at
 // their next amortized check (a deadline surfaces as ErrDeadline,
 // cancellation as ctx.Err()) and queries not yet started report ctx.Err()
 // without running.
@@ -134,18 +147,26 @@ func (p *Prepared) SolveBatch(ctx context.Context, queries []Query) *BatchReport
 	for i, q := range queries {
 		cqs[i] = q.toCore()
 	}
+	share := !p.cfg.noBatchShare
 	start := time.Now()
-	outs := core.SolveBatchPolicy(ctx, p.pol, p.prep, cqs, p.cfg.workers)
+	outs := core.SolveBatchOptions(ctx, p.pol, p.prep, cqs, core.BatchOptions{
+		Workers: p.cfg.workers,
+		Share:   share,
+		Dedup:   share,
+	})
 	rep := &BatchReport{
 		Results: make([]BatchResult, len(outs)),
 		Elapsed: time.Since(start),
 	}
 	for i, o := range outs {
-		br := BatchResult{Err: o.Err}
+		br := BatchResult{Err: o.Err, Dedup: o.Dedup}
 		br.Stats = o.Stats
 		br.Elapsed = o.Elapsed
 		br.Degraded = o.Degraded
 		rep.QueryTime += o.Elapsed
+		if o.Dedup {
+			rep.Deduped++
+		}
 		if o.Err == nil {
 			br.Region = &Region{inner: o.Region, q: cqs[i]}
 			rep.Solved++

@@ -1,0 +1,187 @@
+// Command benchdiff compares a freshly generated bench report
+// (BENCH_solve.json) against a committed baseline and exits nonzero on
+// regression. CI machines differ from the machine that produced the
+// baseline, so the gates use only machine-independent signals:
+//
+//   - allocations per query (deterministic for a given code path) against
+//     the baseline, per scenario row and per cpu-matrix row;
+//   - the cross-query-sharing contract within the current report: for every
+//     (scenario, cpus) pair in the cpu matrix, the shared row must beat the
+//     independent row on ns/query and allocs/query;
+//   - the shared/independent ns ratio against the baseline's ratio, which
+//     divides out the machine.
+//
+// Raw ns/query and speedup-vs-1-core are machine-dependent and never gated.
+// Rows present in the baseline but missing from the current report fail the
+// run: a silently dropped scenario must not pass as "no regression".
+//
+// Usage:
+//
+//	benchdiff -baseline results/BENCH_baseline.json -current BENCH_solve.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// row mirrors the benchResult fields benchdiff gates on.
+type row struct {
+	Name       string `json:"name"`
+	NsPerQuery int64  `json:"ns_per_query"`
+	AllocsPerQ int64  `json:"allocs_per_query"`
+}
+
+// matrixRow mirrors the cpuMatrixRow fields benchdiff gates on.
+type matrixRow struct {
+	Name       string `json:"name"`
+	CPUs       int    `json:"cpus"`
+	Shared     bool   `json:"shared"`
+	NsPerQuery int64  `json:"ns_per_query"`
+	AllocsPerQ int64  `json:"allocs_per_query"`
+}
+
+// report is the subset of the BENCH_solve.json document benchdiff reads.
+type report struct {
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Results    []row       `json:"results"`
+	CPUMatrix  []matrixRow `json:"cpu_matrix"`
+}
+
+type matrixKey struct {
+	name   string
+	cpus   int
+	shared bool
+}
+
+func load(path string) (*report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline report (required)")
+		currentPath  = flag.String("current", "", "freshly generated report to check (required)")
+		allocsTol    = flag.Float64("allocs-tol", 1.25, "max allowed allocs/query growth factor vs baseline")
+		allocsSlack  = flag.Int64("allocs-slack", 16, "absolute allocs/query slack added to the tolerance (keeps tiny rows from failing on ±1)")
+		sharedNsTol  = flag.Float64("shared-ns-tol", 0.90, "cpu matrix: shared ns/query must be ≤ independent × this (shared must win)")
+		sharedAlTol  = flag.Float64("shared-allocs-tol", 0.90, "cpu matrix: shared allocs/query must be ≤ independent × this")
+		ratioTol     = flag.Float64("ratio-tol", 1.5, "max allowed growth of the shared/independent ns ratio vs the baseline's ratio")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are both required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var failures []string
+	failf := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	// Scenario rows: presence + allocs regression.
+	curRows := make(map[string]row, len(cur.Results))
+	for _, r := range cur.Results {
+		curRows[r.Name] = r
+	}
+	checked := 0
+	for _, b := range base.Results {
+		c, ok := curRows[b.Name]
+		if !ok {
+			failf("result %-18s missing from current report", b.Name)
+			continue
+		}
+		checked++
+		if limit := int64(float64(b.AllocsPerQ)**allocsTol) + *allocsSlack; c.AllocsPerQ > limit {
+			failf("result %-18s allocs/query %d exceeds baseline %d (limit %d = %.2fx + %d)",
+				b.Name, c.AllocsPerQ, b.AllocsPerQ, limit, *allocsTol, *allocsSlack)
+		}
+	}
+
+	// CPU matrix rows: presence + allocs regression.
+	baseMatrix := make(map[matrixKey]matrixRow, len(base.CPUMatrix))
+	for _, r := range base.CPUMatrix {
+		baseMatrix[matrixKey{r.Name, r.CPUs, r.Shared}] = r
+	}
+	curMatrix := make(map[matrixKey]matrixRow, len(cur.CPUMatrix))
+	for _, r := range cur.CPUMatrix {
+		curMatrix[matrixKey{r.Name, r.CPUs, r.Shared}] = r
+	}
+	for _, b := range base.CPUMatrix {
+		k := matrixKey{b.Name, b.CPUs, b.Shared}
+		c, ok := curMatrix[k]
+		if !ok {
+			failf("matrix %-14s cpus=%d shared=%-5v missing from current report", b.Name, b.CPUs, b.Shared)
+			continue
+		}
+		checked++
+		if limit := int64(float64(b.AllocsPerQ)**allocsTol) + *allocsSlack; c.AllocsPerQ > limit {
+			failf("matrix %-14s cpus=%d shared=%-5v allocs/query %d exceeds baseline %d (limit %d)",
+				b.Name, b.CPUs, b.Shared, c.AllocsPerQ, b.AllocsPerQ, limit)
+		}
+	}
+
+	// Sharing contract within the current report, and ratio vs baseline.
+	for k, sh := range curMatrix {
+		if !k.shared {
+			continue
+		}
+		ind, ok := curMatrix[matrixKey{k.name, k.cpus, false}]
+		if !ok {
+			failf("matrix %-14s cpus=%d has a shared row but no independent row", k.name, k.cpus)
+			continue
+		}
+		checked++
+		if ind.NsPerQuery > 0 && float64(sh.NsPerQuery) > float64(ind.NsPerQuery)**sharedNsTol {
+			failf("matrix %-14s cpus=%d shared %d ns/query not below independent %d ns/query × %.2f",
+				k.name, k.cpus, sh.NsPerQuery, ind.NsPerQuery, *sharedNsTol)
+		}
+		if ind.AllocsPerQ > 0 && float64(sh.AllocsPerQ) > float64(ind.AllocsPerQ)**sharedAlTol {
+			failf("matrix %-14s cpus=%d shared %d allocs/query not below independent %d allocs/query × %.2f",
+				k.name, k.cpus, sh.AllocsPerQ, ind.AllocsPerQ, *sharedAlTol)
+		}
+		bsh, ok1 := baseMatrix[matrixKey{k.name, k.cpus, true}]
+		bind, ok2 := baseMatrix[matrixKey{k.name, k.cpus, false}]
+		if ok1 && ok2 && bind.NsPerQuery > 0 && ind.NsPerQuery > 0 && bsh.NsPerQuery > 0 {
+			baseRatio := float64(bsh.NsPerQuery) / float64(bind.NsPerQuery)
+			curRatio := float64(sh.NsPerQuery) / float64(ind.NsPerQuery)
+			if curRatio > baseRatio**ratioTol {
+				failf("matrix %-14s cpus=%d shared/independent ns ratio %.3f regressed past baseline %.3f × %.2f",
+					k.name, k.cpus, curRatio, baseRatio, *ratioTol)
+			}
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Printf("benchdiff: %d regression(s) (baseline %s @ %s, current %s @ %s):\n",
+			len(failures), *baselinePath, base.GoVersion, *currentPath, cur.GoVersion)
+		for _, f := range failures {
+			fmt.Println("  FAIL", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok — %d checks against %s (current gomaxprocs=%d, baseline gomaxprocs=%d)\n",
+		checked, *baselinePath, cur.GOMAXPROCS, base.GOMAXPROCS)
+}

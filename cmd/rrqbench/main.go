@@ -9,6 +9,7 @@
 //	rrqbench -exp fig9a,fig9b -full
 //	rrqbench -list
 //	rrqbench -benchjson BENCH_solve.json   # machine-readable solve benchmark
+//	rrqbench -benchjson BENCH_solve.json -cpus 1,2,4,8   # + multi-core matrix
 //	rrqbench -benchjson BENCH_solve.json -cpuprofile cpu.out -memprofile mem.out
 package main
 
@@ -17,11 +18,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rrq"
@@ -68,6 +73,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "alias of -budget: per-cell wall-clock budget (0 = default)")
 		workers    = flag.Int("workers", 0, "worker count for the batch experiment (0 = sweep defaults)")
 		benchJSON  = flag.String("benchjson", "", "run the solve benchmark suite and write machine-readable JSON to this path")
+		cpus       = flag.String("cpus", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4,8): with -benchjson, also run the shared-vs-independent batch matrix at each value")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this path (go tool pprof)")
 	)
@@ -115,7 +121,12 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *full, *seed); err != nil {
+		cpuVals, err := parseCPUList(*cpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rrqbench:", err)
+			os.Exit(2)
+		}
+		if err := runBenchJSON(*benchJSON, *full, *seed, cpuVals); err != nil {
 			fmt.Fprintln(os.Stderr, "rrqbench:", err)
 			os.Exit(1)
 		}
@@ -185,6 +196,8 @@ type benchResult struct {
 	Queries     int                   `json:"queries"`
 	Workers     int                   `json:"workers"`
 	Intra       int                   `json:"intra_workers"`
+	GOMAXPROCS  int                   `json:"gomaxprocs"`
+	Note        string                `json:"note,omitempty"`
 	Solved      int                   `json:"solved"`
 	Failed      int                   `json:"failed"`
 	ElapsedNs   int64                 `json:"elapsed_ns"`
@@ -196,15 +209,60 @@ type benchResult struct {
 	Phases      map[string]benchPhase `json:"phases"`
 }
 
+// cpuMatrixRow is one cell of the multi-core batch matrix: the same
+// mixed-(k, ε) batch workload run at a pinned GOMAXPROCS, with cross-query
+// sharing on (shared=true) or off (shared=false, independent per-query
+// solves through the identical dispatch path). SpeedupVs1 normalizes
+// ns/query to the cpus=1 row of the same scenario and sharing flag; it is
+// machine-dependent and informational — regression gates compare the
+// shared/independent ratio instead.
+type cpuMatrixRow struct {
+	Name       string  `json:"name"`
+	CPUs       int     `json:"cpus"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Shared     bool    `json:"shared"`
+	N          int     `json:"n"`
+	D          int     `json:"d"`
+	Queries    int     `json:"queries"`
+	Rounds     int     `json:"rounds"`
+	Deduped    int     `json:"deduped"`
+	NsPerQuery int64   `json:"ns_per_query"`
+	AllocsPerQ int64   `json:"allocs_per_query"`
+	BytesPerQ  int64   `json:"bytes_per_query"`
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	Note       string  `json:"note,omitempty"`
+}
+
 // benchReport is the top-level BENCH_solve.json document.
 type benchReport struct {
 	GoVersion  string             `json:"go_version"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
 	Full       bool               `json:"full"`
 	Seed       int64              `json:"seed"`
 	Results    []benchResult      `json:"results"`
+	CPUMatrix  []cpuMatrixRow     `json:"cpu_matrix,omitempty"`
 	Index      []indexBenchResult `json:"index_results"`
 	Sim        []simBenchResult   `json:"sim_results"`
+}
+
+// parseCPUList parses the -cpus flag ("1,2,4,8") into sorted-unique-free
+// (order-preserving) positive GOMAXPROCS values. Empty input means no matrix.
+func parseCPUList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("-cpus: invalid value %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // indexScenario is one index-serving benchmark configuration: the dataset an
@@ -400,13 +458,14 @@ func benchSuite(full bool) []benchScenario {
 // runBenchJSON runs the solve benchmark suite through the public batch API
 // with metrics enabled and writes the aggregate as machine-readable JSON —
 // the artifact CI uploads for cross-commit performance tracking.
-func runBenchJSON(path string, full bool, seed int64) error {
+func runBenchJSON(path string, full bool, seed int64, cpus []int) error {
 	if seed == 0 {
 		seed = 42
 	}
 	rep := benchReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Full:       full,
 		Seed:       seed,
 	}
@@ -431,6 +490,7 @@ func runBenchJSON(path string, full bool, seed int64) error {
 			return fmt.Errorf("%s: %w", sc.Name, err)
 		}
 		runtime.ReadMemStats(&msAfter)
+		gmp := runtime.GOMAXPROCS(0)
 		res := benchResult{
 			Name:        sc.Name,
 			Algo:        sc.Algo.String(),
@@ -441,6 +501,8 @@ func runBenchJSON(path string, full bool, seed int64) error {
 			Queries:     sc.Queries,
 			Workers:     sc.Workers,
 			Intra:       sc.Intra,
+			GOMAXPROCS:  gmp,
+			Note:        parallelismNote(sc.Workers, sc.Intra, gmp),
 			Solved:      report.Solved,
 			Failed:      report.Failed,
 			ElapsedNs:   report.Elapsed.Nanoseconds(),
@@ -467,6 +529,27 @@ func runBenchJSON(path string, full bool, seed int64) error {
 			sc.Name, res.Algo, sc.N, sc.D, sc.Queries,
 			report.Elapsed.Round(time.Millisecond), time.Duration(res.NsPerQuery).Round(time.Microsecond),
 			res.AllocsPerQ)
+	}
+	if len(cpus) > 0 {
+		rows, err := runCPUMatrix(full, seed, cpus)
+		if err != nil {
+			return err
+		}
+		rep.CPUMatrix = rows
+		for _, r := range rows {
+			mode := "independent"
+			if r.Shared {
+				mode = "shared"
+			}
+			extra := ""
+			if r.Note != "" {
+				extra = "  [" + r.Note + "]"
+			}
+			fmt.Printf("%-16s cpus=%d %-11s %v/query, %d allocs/query, %.2fx vs 1 cpu%s\n",
+				r.Name, r.CPUs, mode,
+				time.Duration(r.NsPerQuery).Round(time.Microsecond),
+				r.AllocsPerQ, r.SpeedupVs1, extra)
+		}
 	}
 	for _, sc := range indexSuite(full) {
 		res, err := runIndexScenario(sc, seed)
@@ -582,4 +665,191 @@ func runIndexScenario(sc indexScenario, seed int64) (indexBenchResult, error) {
 	res.MaintainOps = ops
 	res.MaintainNsPerOp = time.Since(start).Nanoseconds() / ops
 	return res, nil
+}
+
+// parallelismNote flags configurations whose requested parallelism exceeds
+// what the runtime will actually schedule, so a row can never silently claim
+// multi-core numbers it did not get. workers ≤ 0 means GOMAXPROCS (never
+// oversubscribed by itself); intra ≤ 1 means serial solves.
+func parallelismNote(workers, intra, gomaxprocs int) string {
+	if workers <= 0 {
+		workers = gomaxprocs
+	}
+	if intra < 1 {
+		intra = 1
+	}
+	if workers*intra > gomaxprocs {
+		return fmt.Sprintf("requested parallelism %d (workers %d x intra %d) exceeds GOMAXPROCS %d; solves time-share cores", workers*intra, workers, intra, gomaxprocs)
+	}
+	return ""
+}
+
+// matrixScenario is one dataset shape the multi-core matrix runs over.
+type matrixScenario struct {
+	Name string
+	Dist rrq.DistType
+	N, D int
+	KMax int
+	Eps  []float64
+}
+
+// matrixQueries builds the batch workload the sharing layer targets: a few
+// query points, each asked over a range of ranks and two ε values (nested
+// and sibling plane groups), then a 50% tail of exact repeats — the shape
+// the serving simulator also uses (sim.Workload Repeat: 0.5) — so the dedup
+// tier participates the way it does in a live query stream.
+func matrixQueries(ds *rrq.Dataset, sc matrixScenario, seed int64) []rrq.Query {
+	var queries []rrq.Query
+	for i := 0; i < 4; i++ {
+		qp := ds.RandomQuery(seed + int64(100+i))
+		for _, eps := range sc.Eps {
+			for k := 1; k <= sc.KMax; k++ {
+				queries = append(queries, rrq.Query{Q: qp, K: k, Epsilon: eps})
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	distinct := len(queries)
+	for i := 0; i < distinct/2; i++ {
+		queries = append(queries, queries[rng.Intn(distinct)])
+	}
+	return queries
+}
+
+// runCPUMatrix runs the shared-vs-independent comparison at each requested
+// GOMAXPROCS. Both modes measure the one-shot serving pattern — dataset
+// preprocessing plus all solves — so the batch engine's amortization
+// (one capped skyband pass, per-(point, ε) plane groups, dedup, arenas)
+// shows against its replacement: a fresh Prepare with an independent Solve
+// call per query, fanned over the same number of workers. GOMAXPROCS is
+// restored on return.
+func runCPUMatrix(full bool, seed int64, cpus []int) ([]cpuMatrixRow, error) {
+	mul := 1
+	if full {
+		mul = 4
+	}
+	scenarios := []matrixScenario{
+		{Name: "batch-ept-3d", Dist: rrq.Independent, N: 2000 * mul, D: 3, KMax: 8, Eps: []float64{0.05, 0.12}},
+		{Name: "batch-ept-4d", Dist: rrq.Independent, N: 1500 * mul, D: 4, KMax: 4, Eps: []float64{0.1, 0.2}},
+	}
+	rounds := 4 * mul
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var rows []cpuMatrixRow
+	// ns/query of the cpus=1 row, per scenario and sharing flag, for SpeedupVs1.
+	type baseKey struct {
+		name   string
+		shared bool
+	}
+	base := make(map[baseKey]int64)
+	for _, sc := range scenarios {
+		ds := rrq.SyntheticDataset(sc.Dist, sc.N, sc.D, seed)
+		queries := matrixQueries(ds, sc, seed)
+		for _, c := range cpus {
+			runtime.GOMAXPROCS(c)
+			for _, shared := range []bool{true, false} {
+				row, err := runMatrixCell(ds, queries, sc, c, shared, rounds, seed)
+				if err != nil {
+					return nil, fmt.Errorf("%s cpus=%d shared=%v: %w", sc.Name, c, shared, err)
+				}
+				k := baseKey{sc.Name, shared}
+				if c == 1 {
+					base[k] = row.NsPerQuery
+				}
+				if b, ok := base[k]; ok && b > 0 && row.NsPerQuery > 0 {
+					row.SpeedupVs1 = float64(b) / float64(row.NsPerQuery)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// runMatrixCell times one matrix cell: `rounds` one-shot servings of the
+// batch at the current GOMAXPROCS, each paying the dataset preprocessing and
+// every solve. The shared mode dispatches through SolveBatch with sharing
+// and dedup on; the independent mode answers each query with its own Solve
+// call over a fresh Prepare, fanned over the same worker count. One untimed
+// warm-up round lets pools and caches settle; allocation deltas are read
+// around the timed window.
+func runMatrixCell(ds *rrq.Dataset, queries []rrq.Query, sc matrixScenario, cpus int, shared bool, rounds int, seed int64) (cpuMatrixRow, error) {
+	gmp := runtime.GOMAXPROCS(0)
+	ctx := context.Background()
+	opts := []rrq.Option{
+		rrq.WithAlgorithm(rrq.EPTAlgo), rrq.WithSkybandPrefilter(true),
+		rrq.WithWorkers(cpus), rrq.WithSeed(seed), rrq.WithBatchSharing(shared),
+	}
+	var deduped int
+	runOnce := func() error {
+		if shared {
+			rep, err := rrq.SolveBatch(ctx, ds, queries, opts...)
+			if err != nil {
+				return err
+			}
+			for _, r := range rep.Results {
+				if r.Err != nil {
+					return r.Err
+				}
+			}
+			deduped = rep.Deduped
+			return nil
+		}
+		p, err := rrq.Prepare(ds, opts...)
+		if err != nil {
+			return err
+		}
+		errs := make([]error, len(queries))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < cpus; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(queries) {
+						return
+					}
+					_, errs[i] = p.Solve(ctx, queries[i])
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := runOnce(); err != nil {
+		return cpuMatrixRow{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		if err := runOnce(); err != nil {
+			return cpuMatrixRow{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	total := int64(rounds) * int64(len(queries))
+	row := cpuMatrixRow{
+		Name: sc.Name, CPUs: cpus, GOMAXPROCS: gmp, Workers: cpus, Shared: shared,
+		N: sc.N, D: sc.D, Queries: len(queries), Rounds: rounds,
+		Deduped:    deduped,
+		NsPerQuery: elapsed.Nanoseconds() / total,
+		AllocsPerQ: int64(after.Mallocs-before.Mallocs) / total,
+		BytesPerQ:  int64(after.TotalAlloc-before.TotalAlloc) / total,
+	}
+	if cpus > runtime.NumCPU() {
+		row.Note = fmt.Sprintf("gomaxprocs %d exceeds the machine's %d cpus; speedup_vs_1 is not meaningful here", cpus, runtime.NumCPU())
+	}
+	return row, nil
 }

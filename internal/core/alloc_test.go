@@ -1,0 +1,129 @@
+package core
+
+// Allocation-regression tests for the batch engine's pooled hot paths: once
+// a worker arena has warmed up, the plane-construction, reduction/ordering
+// and sweep kernels must run without a single heap allocation. A regression
+// here silently reintroduces per-solve garbage across every batch worker,
+// so these tests pin the steady state at exactly zero.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"rrq/internal/vec"
+)
+
+func TestBuildPlanesArenaZeroAlloc(t *testing.T) {
+	for d := 2; d <= 4; d++ {
+		rng := rand.New(rand.NewSource(int64(d) * 71))
+		pts, q := randomInstance(rng, 200, d)
+		a := &Arena{}
+		warm := buildPlanesArena(pts, q, a)
+		if len(warm.Crossing) == 0 {
+			t.Fatalf("d=%d: instance produced no crossing planes; test is vacuous", d)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			buildPlanesArena(pts, q, a)
+		})
+		if allocs != 0 {
+			t.Errorf("d=%d: buildPlanesArena allocates %.1f per run on a warm arena, want 0", d, allocs)
+		}
+	}
+}
+
+func TestReduceAndOrderPlanesZeroAlloc(t *testing.T) {
+	for d := 2; d <= 4; d++ {
+		rng := rand.New(rand.NewSource(int64(d) * 131))
+		pts, q := randomInstance(rng, 200, d)
+		ps := BuildPlanes(pts, q)
+		if len(ps.Crossing) < 4 {
+			t.Fatalf("d=%d: only %d crossing planes; test is vacuous", d, len(ps.Crossing))
+		}
+		a := &Arena{}
+		reduceAndOrderPlanesOpt(ps.Crossing, q.K, false, false, a)
+		allocs := testing.AllocsPerRun(50, func() {
+			reduceAndOrderPlanesOpt(ps.Crossing, q.K, false, false, a)
+		})
+		if allocs != 0 {
+			t.Errorf("d=%d: reduceAndOrderPlanesOpt allocates %.1f per run on a warm arena, want 0", d, allocs)
+		}
+	}
+}
+
+func TestSweepIntervalsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	pts, _ := randomInstance(rng, 300, 2)
+	// A query point near the top corner keeps PlaneSet.Base empty (no point
+	// can dominate it under the (1−ε) scale), so the effective rank stays
+	// positive and the sweep actually runs.
+	q := Query{Q: vec.Of(0.9, 0.85), K: 3, Eps: 0.1}
+	ps := BuildPlanes(pts, q)
+	k := ps.KEff(q.K)
+	if k <= 0 || len(ps.Crossing) == 0 {
+		t.Fatalf("degenerate instance (keff=%d, planes=%d); test is vacuous", k, len(ps.Crossing))
+	}
+	a := &Arena{}
+	check := NewCtxChecker(context.Background(), 0)
+	var st Stats
+	if _, _, err := sweepIntervals(ps, k, a, &st, check); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		st = Stats{}
+		if _, _, err := sweepIntervals(ps, k, a, &st, check); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("sweepIntervals allocates %.1f per run on a warm arena, want 0", allocs)
+	}
+}
+
+// benchBatch measures one full cold batch — Prepare plus all solves, the
+// one-shot SolveBatch workload — over a query set with the structure the
+// sharing layer targets: a few query points, each asked at a range of
+// ranks (nested plane groups), with exact duplicates mixed in. The shared
+// variant dispatches through the batch engine with sharing and dedup on;
+// the independent variant answers each query with its own Solve call — the
+// serving pattern batch sharing replaces — so ns/op and allocs/op measure
+// what the whole sharing layer buys.
+func benchBatch(b *testing.B, share bool) {
+	rng := rand.New(rand.NewSource(42))
+	pts, _ := randomInstance(rng, 400, 3)
+	var queries []Query
+	for i := 0; i < 4; i++ {
+		qp := vec.RandSimplex(rng, 3).Scale(0.9)
+		for k := 1; k <= 8; k++ {
+			queries = append(queries, Query{Q: qp, K: k, Eps: 0.05})
+		}
+	}
+	queries = append(queries, queries[0], queries[9], queries[17], queries[25])
+	pol := SolvePolicy{Solver: EPTSolver{}}
+	opt := BatchOptions{Workers: 1, Share: true, Dedup: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prep, err := Prepare(pts, 3, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if share {
+			outs := SolveBatchOptions(context.Background(), pol, prep, queries, opt)
+			for j := range outs {
+				if outs[j].Err != nil {
+					b.Fatal(outs[j].Err)
+				}
+			}
+		} else {
+			for j, q := range queries {
+				if _, _, _, err := pol.Solve(context.Background(), prep, q, j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkBatchShared(b *testing.B)      { benchBatch(b, true) }
+func BenchmarkBatchIndependent(b *testing.B) { benchBatch(b, false) }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -220,8 +221,10 @@ type Prepared struct {
 	pointsFor func(k int) []vec.Vec // optional index-backed prefilter
 	planes    PlaneSource           // optional shared plane storage
 
-	mu    sync.Mutex
-	bands map[int][]vec.Vec
+	mu      sync.Mutex
+	bands   map[int][]vec.Vec
+	counts  []int // capped dominator counts at countsK (batch sharing)
+	countsK int
 }
 
 // Prepare validates pts against dim once — dimension, finiteness and the
@@ -387,12 +390,35 @@ func (s BruteForceSolver) Solve(ctx context.Context, prep *Prepared, q Query) (*
 // unaffected). A recovered panic surfaces as a per-query *SolveError in
 // Err. Degraded is non-nil when the answer came from a fallback solver
 // under a SolvePolicy.
+//
+// Dedup marks a slot whose query was an exact duplicate (equal Query.Key())
+// of an earlier one: the region pointer, stats and error are copies of the
+// representative's single solve (regions are immutable, so sharing the
+// pointer is safe) and Elapsed is zero — no work was performed for the
+// slot.
 type BatchOutcome struct {
 	Region   *Region
 	Stats    Stats
 	Elapsed  time.Duration
 	Err      error
 	Degraded *Degradation
+	Dedup    bool
+}
+
+// BatchOptions tunes how SolveBatchOptions dispatches a batch.
+type BatchOptions struct {
+	// Workers bounds the worker pool; ≤ 0 uses GOMAXPROCS.
+	Workers int
+	// Share enables batch-scoped cross-query sharing: one capped skyband
+	// computation at the batch's maximum k serves every query's prefilter,
+	// classified plane sets are built once per (query point, ε) group and
+	// narrowed per k, and the dispatch order clusters queries on shared
+	// state. Answers are byte-identical to independent solves.
+	Share bool
+	// Dedup collapses exact-duplicate queries (equal Query.Key()) into one
+	// solve whose outcome is fanned out to every duplicate slot, marked
+	// with BatchOutcome.Dedup.
+	Dedup bool
 }
 
 // SolveBatch answers queries over one shared Prepared with a bounded
@@ -413,48 +439,127 @@ func SolveBatch(ctx context.Context, s Solver, prep *Prepared, queries []Query, 
 // not yet started report ctx.Err() (e.g. context.Canceled) while in-flight
 // solves abort at their next amortized check. workers ≤ 0 uses GOMAXPROCS.
 func SolveBatchPolicy(ctx context.Context, pol SolvePolicy, prep *Prepared, queries []Query, workers int) []BatchOutcome {
+	return SolveBatchOptions(ctx, pol, prep, queries, BatchOptions{Workers: workers})
+}
+
+// SolveBatchOptions is SolveBatchPolicy with batch-level optimizations
+// under explicit control: exact-duplicate collapse (opt.Dedup), batch-
+// scoped cross-query sharing with clustered dispatch (opt.Share), and a
+// per-worker scratch arena that makes repeated solves on one worker
+// allocation-free in their plane phases. Results are returned in input
+// order regardless of worker count, clustering or deduplication, and are
+// byte-identical to what independent per-query solves would produce.
+func SolveBatchOptions(ctx context.Context, pol SolvePolicy, prep *Prepared, queries []Query, opt BatchOptions) []BatchOutcome {
 	out := make([]BatchOutcome, len(queries))
 	if len(queries) == 0 {
 		return out
 	}
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(queries) {
-		workers = len(queries)
+
+	// One PointKey per query, computed once and reused by deduplication,
+	// sharing-group assignment and clustering.
+	var keys []string
+	if (opt.Dedup || opt.Share) && len(queries) > 1 {
+		keys = make([]string, len(queries))
+		for i, q := range queries {
+			keys[i] = q.PointKey()
+		}
 	}
-	solveOne := func(i int) {
-		if err := ctx.Err(); err != nil {
+
+	// Deduplicate: one representative slot per distinct query identity; the
+	// other slots receive a copy of its outcome after the solves.
+	order := make([]int, 0, len(queries))
+	var dupOf []int
+	if opt.Dedup && len(queries) > 1 {
+		type qID struct {
+			point string
+			k     int
+			eps   uint64
+		}
+		dupOf = make([]int, len(queries))
+		seen := make(map[qID]int, len(queries))
+		for i, q := range queries {
+			id := qID{point: keys[i], k: q.K, eps: math.Float64bits(q.Eps)}
+			if j, ok := seen[id]; ok {
+				dupOf[i] = j
+			} else {
+				seen[id] = i
+				dupOf[i] = -1
+				order = append(order, i)
+			}
+		}
+	} else {
+		for i := range queries {
+			order = append(order, i)
+		}
+	}
+
+	solvePrep := prep
+	var view *shareView
+	if opt.Share && len(queries) > 1 {
+		solvePrep, view = prep.shareFor(queries, keys)
+		clusterOrder(order, queries, keys)
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+
+	solveOne := func(sctx context.Context, a *Arena, i int) {
+		if err := sctx.Err(); err != nil {
 			// Same vocabulary as an in-flight abort: ErrDeadline for a
 			// passed deadline, context.Canceled for cancellation.
 			out[i].Err = MapContextErr(err)
 			return
 		}
+		if view != nil {
+			a.group = view.groupOf[i]
+		}
 		start := time.Now()
-		out[i].Region, out[i].Stats, out[i].Degraded, out[i].Err = pol.Solve(ctx, prep, queries[i], i)
+		out[i].Region, out[i].Stats, out[i].Degraded, out[i].Err = pol.Solve(sctx, solvePrep, queries[i], i)
 		out[i].Elapsed = time.Since(start)
 	}
 	if workers == 1 {
-		for i := range queries {
-			solveOne(i)
+		a := getArena()
+		a.share = view
+		actx := contextWithArena(ctx, a)
+		for _, i := range order {
+			solveOne(actx, a, i)
 		}
-		return out
+		putArena(a)
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				a := getArena()
+				defer putArena(a)
+				a.share = view
+				actx := contextWithArena(ctx, a)
+				for i := range idx {
+					solveOne(actx, a, i)
+				}
+			}()
+		}
+		for _, i := range order {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
 	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				solveOne(i)
+
+	if dupOf != nil {
+		for i, j := range dupOf {
+			if j >= 0 {
+				out[i] = out[j]
+				out[i].Elapsed = 0
+				out[i].Dedup = true
 			}
-		}()
+		}
 	}
-	for i := range queries {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
 	return out
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"sort"
 
 	"rrq/internal/faultinject"
 	"rrq/internal/geom"
@@ -87,9 +86,10 @@ func eptSolve(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions, src P
 	if check.Failed() {
 		return nil, st, check.Err()
 	}
+	a := arenaFrom(ctx)
 	planePhase := check.Phase("phase.ept.planes")
 	defer planePhase()
-	ps := planesFor(src, pts, q)
+	ps := planesForArena(src, pts, q, a)
 	st.PlanesBuilt = len(ps.Crossing)
 	check.Emit(obs.EvPlaneBuilt, st.PlanesBuilt)
 	k := ps.KEff(q.K)
@@ -101,7 +101,7 @@ func eptSolve(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions, src P
 
 	planes := ps.Crossing
 	if !opt.NoReduction || !opt.NoOrdering {
-		planes = reduceAndOrderPlanesOpt(ps.Crossing, k, opt.NoReduction, opt.NoOrdering)
+		planes = reduceAndOrderPlanesOpt(ps.Crossing, k, opt.NoReduction, opt.NoOrdering, a)
 	} else if src != nil {
 		// Both ablations off the reduction path would pack the cached slice
 		// itself; shared plane storage is read-only, so copy the headers
@@ -162,21 +162,27 @@ func eptSolve(ctx context.Context, pts []vec.Vec, q Query, opt EPTOptions, src P
 // on negated unit normals (a standard descent argument shows counting only
 // kept dominators is sufficient — see internal/skyband).
 func reduceAndOrderPlanes(planes []geom.Hyperplane, k int) []geom.Hyperplane {
-	return reduceAndOrderPlanesOpt(planes, k, false, false)
+	return reduceAndOrderPlanesOpt(planes, k, false, false, nil)
 }
 
 // reduceAndOrderPlanesOpt optionally skips the reduction or the ordering,
-// for ablation runs.
-func reduceAndOrderPlanesOpt(planes []geom.Hyperplane, k int, noReduce, noOrder bool) []geom.Hyperplane {
+// for ablation runs. Every working buffer is drawn from the worker arena
+// when one is supplied; the returned slice then aliases arena memory and is
+// consumed (repacked by PackNormals, copied into tree nodes) before the
+// worker's next solve.
+func reduceAndOrderPlanesOpt(planes []geom.Hyperplane, k int, noReduce, noOrder bool, a *Arena) []geom.Hyperplane {
 	m := len(planes)
 	if m == 0 {
 		return nil
 	}
+	if a == nil {
+		a = &Arena{}
+	}
 	d := planes[0].Normal.Dim()
 	// All negated unit normals share one flat backing array; the skyband
 	// scan is a pure read over them.
-	flat := make([]float64, m*d)
-	negUnits := make([]vec.Vec, m)
+	flat := growF64(&a.negFlat, m*d)
+	negUnits := growVecs(&a.negUnits, m)
 	for i, h := range planes {
 		u := h.Unit()
 		nu := flat[i*d : (i+1)*d : (i+1)*d]
@@ -187,22 +193,23 @@ func reduceAndOrderPlanesOpt(planes []geom.Hyperplane, k int, noReduce, noOrder 
 	}
 	var keepIdx []int
 	if noReduce {
-		keepIdx = make([]int, m)
+		keepIdx = growInts(&a.noRedIdx, m)
 		for i := range keepIdx {
 			keepIdx[i] = i
 		}
 	} else {
-		keepIdx = skyband.KSkyband(negUnits, k)
+		keepIdx = skyband.KSkybandScratch(negUnits, k, &a.sky)
 	}
-	kept := make([]geom.Hyperplane, len(keepIdx))
+	kept := growPlanes(&a.kept, len(keepIdx))
 	// W(h): the number of negative half-spaces covered by h⁻. By Lemma 5.2,
 	// v' ≥ v component-wise means h'⁻ ⊆ h⁻, so W counts the planes whose
 	// unit normal dominates h's. Inserting in descending W order lets the
 	// widest negative half-spaces raise counters first, so invalid nodes
 	// are discovered early.
-	w := make([]int, len(keepIdx))
+	w := growInts(&a.w, len(keepIdx))
 	for out, i := range keepIdx {
 		kept[out] = planes[i]
+		w[out] = 0
 		ui := planes[i].Unit()
 		for j := 0; j < m; j++ {
 			if j != i && skyband.Dominates(planes[j].Unit(), ui) {
@@ -213,21 +220,67 @@ func reduceAndOrderPlanesOpt(planes []geom.Hyperplane, k int, noReduce, noOrder 
 	if noOrder {
 		return kept
 	}
-	order := make([]int, len(kept))
+	order := growInts(&a.order, len(kept))
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if w[order[a]] != w[order[b]] {
-			return w[order[a]] > w[order[b]]
-		}
-		return order[a] < order[b]
-	})
-	out := make([]geom.Hyperplane, len(kept))
+	sortPlaneOrder(order, w)
+	out := growPlanes(&a.ordered, len(kept))
 	for i, idx := range order {
 		out[i] = kept[idx]
 	}
 	return out
+}
+
+// sortPlaneOrder sorts order by descending W, ties by ascending index —
+// the same total order the previous sort.Slice comparator produced, via a
+// hand-rolled quicksort (plain functions, not closures) that allocates
+// nothing. The comparator is a strict total order (indices are unique), so
+// any correct sort yields the identical permutation.
+func sortPlaneOrder(order, w []int) {
+	for len(order) > 12 {
+		mid := len(order) / 2
+		hi := len(order) - 1
+		if planeOrderLess(w, order[mid], order[0]) {
+			order[mid], order[0] = order[0], order[mid]
+		}
+		if planeOrderLess(w, order[hi], order[0]) {
+			order[hi], order[0] = order[0], order[hi]
+		}
+		if planeOrderLess(w, order[mid], order[hi]) {
+			order[mid], order[hi] = order[hi], order[mid]
+		}
+		pivot := order[hi]
+		p := 0
+		for j := 0; j < hi; j++ {
+			if planeOrderLess(w, order[j], pivot) {
+				order[p], order[j] = order[j], order[p]
+				p++
+			}
+		}
+		order[p], order[hi] = order[hi], order[p]
+		if p < len(order)-p-1 {
+			sortPlaneOrder(order[:p], w)
+			order = order[p+1:]
+		} else {
+			sortPlaneOrder(order[p+1:], w)
+			order = order[:p]
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && planeOrderLess(w, order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}
+
+// planeOrderLess is the insertion-order comparator: descending W, ties by
+// ascending plane index.
+func planeOrderLess(w []int, a, b int) bool {
+	if w[a] != w[b] {
+		return w[a] > w[b]
+	}
+	return a < b
 }
 
 // eptTree is the shared partition tree: structure and parameters only. All

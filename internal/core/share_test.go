@@ -1,0 +1,288 @@
+package core
+
+// Tests for batch-scoped cross-query sharing: the shared skyband substrate,
+// per-(point, ε) plane groups and duplicate collapse must leave every
+// query's answer byte-identical to an independent solve, across worker
+// counts, solvers and prefilter settings.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rrq/internal/vec"
+)
+
+// mixedBatch builds a batch that exercises every sharing tier: a few
+// distinct query points, several ε values and ranks per point (so plane
+// groups serve nested k), and guaranteed exact duplicates (dedup).
+func mixedBatch(rng *rand.Rand, pts []vec.Vec, n int) []Query {
+	qpts := make([]vec.Vec, 4)
+	for i := range qpts {
+		p := pts[rng.Intn(len(pts))].Clone()
+		for j := range p {
+			p[j] = math.Min(1, math.Max(0.01, p[j]+(rng.Float64()-0.5)*0.2))
+		}
+		qpts[i] = p
+	}
+	epss := []float64{0, 0.05, 0.12}
+	out := make([]Query, 0, n+2)
+	for i := 0; i < n; i++ {
+		out = append(out, Query{
+			Q:   qpts[rng.Intn(len(qpts))],
+			K:   1 + rng.Intn(5),
+			Eps: epss[rng.Intn(len(epss))],
+		})
+	}
+	// Exact duplicates of the first and a middle query.
+	out = append(out, out[0], out[n/2])
+	return out
+}
+
+func regionBytes(t *testing.T, r *Region) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal region: %v", err)
+	}
+	return b
+}
+
+// TestBatchSharedByteIdentical is the sharing contract: for every solver,
+// dimension, prefilter setting and worker count, a batch solved with
+// Share+Dedup produces regions whose JSON encoding is byte-for-byte equal
+// to independent per-query solves on the same Prepared.
+func TestBatchSharedByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		d    int
+		s    Solver
+	}{
+		{"sweeping-2d", 2, SweepingSolver{}},
+		{"ept-3d", 3, EPTSolver{}},
+		{"ept-4d", 4, EPTSolver{}},
+	}
+	for _, tc := range cases {
+		for _, prefilter := range []bool{false, true} {
+			name := tc.name + "/prefilter=off"
+			if prefilter {
+				name = tc.name + "/prefilter=on"
+			}
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(tc.d)*1009 + 3))
+				pts, _ := randomInstance(rng, 120, tc.d)
+				queries := mixedBatch(rng, pts, 14)
+				prep, err := Prepare(pts, tc.d, prefilter)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := make([][]byte, len(queries))
+				for i, q := range queries {
+					r, _, err := tc.s.Solve(context.Background(), prep, q)
+					if err != nil {
+						t.Fatalf("independent solve %d: %v", i, err)
+					}
+					want[i] = regionBytes(t, r)
+				}
+				for _, w := range []int{1, 2, 4} {
+					outs := SolveBatchOptions(context.Background(), SolvePolicy{Solver: tc.s}, prep, queries,
+						BatchOptions{Workers: w, Share: true, Dedup: true})
+					for i, o := range outs {
+						if o.Err != nil {
+							t.Fatalf("workers=%d query %d: %v", w, i, o.Err)
+						}
+						got := regionBytes(t, o.Region)
+						if !bytes.Equal(got, want[i]) {
+							t.Fatalf("workers=%d query %d: shared region diverged\n got %s\nwant %s",
+								w, i, got, want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchDedupCollapse pins the duplicate-collapse semantics: duplicate
+// slots share the representative's region pointer (regions are immutable),
+// copy its stats, report zero elapsed time and carry the Dedup mark, while
+// the representative itself does not.
+func TestBatchDedupCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	pts, q := randomInstance(rng, 80, 3)
+	q2 := q
+	q2.K = q.K%5 + 1
+	q2.Q = vec.RandSimplex(rng, 3).Scale(0.9)
+	queries := []Query{q, q, q, q2, q}
+	prep, err := Prepare(pts, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 3} {
+		outs := SolveBatchOptions(context.Background(), SolvePolicy{Solver: EPTSolver{}}, prep, queries,
+			BatchOptions{Workers: w, Share: true, Dedup: true})
+		rep := outs[0]
+		if rep.Dedup {
+			t.Fatalf("workers=%d: representative slot marked Dedup", w)
+		}
+		if rep.Err != nil {
+			t.Fatalf("workers=%d: representative failed: %v", w, rep.Err)
+		}
+		if outs[3].Dedup {
+			t.Fatalf("workers=%d: distinct query marked Dedup", w)
+		}
+		for _, i := range []int{1, 2, 4} {
+			o := outs[i]
+			if !o.Dedup {
+				t.Fatalf("workers=%d slot %d: duplicate not marked Dedup", w, i)
+			}
+			if o.Region != rep.Region {
+				t.Fatalf("workers=%d slot %d: duplicate did not share the representative's region", w, i)
+			}
+			if o.Stats != rep.Stats {
+				t.Fatalf("workers=%d slot %d: stats not copied from representative", w, i)
+			}
+			if o.Elapsed != 0 {
+				t.Fatalf("workers=%d slot %d: duplicate reports nonzero elapsed %v", w, i, o.Elapsed)
+			}
+		}
+	}
+}
+
+// TestClusterOrderProperties checks the dispatch clustering: the order stays
+// a permutation, the result is deterministic, and all queries of one
+// (point, ε) group end up adjacent with ascending k inside the group.
+func TestClusterOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts, _ := randomInstance(rng, 40, 3)
+	queries := mixedBatch(rng, pts, 20)
+	keys := make([]string, len(queries))
+	for i := range keys {
+		keys[i] = queries[i].PointKey()
+	}
+	order := make([]int, len(queries))
+	for i := range order {
+		order[i] = i
+	}
+	clusterOrder(order, queries, keys)
+
+	seen := make(map[int]bool, len(order))
+	for _, i := range order {
+		if i < 0 || i >= len(queries) || seen[i] {
+			t.Fatalf("clusterOrder is not a permutation: %v", order)
+		}
+		seen[i] = true
+	}
+
+	again := make([]int, len(queries))
+	for i := range again {
+		again[i] = i
+	}
+	clusterOrder(again, queries, keys)
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatalf("clusterOrder not deterministic: %v vs %v", order, again)
+		}
+	}
+
+	type gk struct {
+		p string
+		e uint64
+	}
+	last := make(map[gk]int)
+	for pos, i := range order {
+		key := gk{queries[i].PointKey(), math.Float64bits(queries[i].Eps)}
+		if prev, ok := last[key]; ok {
+			if prev != pos-1 {
+				t.Fatalf("group %v not contiguous: positions %d and %d", key, prev, pos)
+			}
+			if queries[order[prev]].K > queries[i].K {
+				t.Fatalf("group %v not ascending in k at position %d", key, pos)
+			}
+		}
+		last[key] = pos
+	}
+}
+
+// TestShareViewBandsMatchPrepared verifies the shared skyband substrate:
+// the batch view's per-k bands (derived from one capped count at the
+// batch's maximum k) equal the Prepared's own cached per-k skybands, in
+// membership and order, and a k past the batch range falls back cleanly.
+func TestShareViewBandsMatchPrepared(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts, _ := randomInstance(rng, 150, 3)
+	// Duplicate some points so ties and repeated coordinates are exercised.
+	pts = append(pts, pts[0].Clone(), pts[1].Clone(), pts[2].Clone())
+	prep, err := Prepare(pts, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]Query, 6)
+	for i := range queries {
+		queries[i] = Query{Q: vec.RandSimplex(rng, 3).Scale(0.9), K: i + 1, Eps: 0.05}
+	}
+	qkeys := make([]string, len(queries))
+	for i := range qkeys {
+		qkeys[i] = queries[i].PointKey()
+	}
+	view, sv := prep.shareFor(queries, qkeys)
+	if view == prep || sv == nil {
+		t.Fatal("shareFor returned the base Prepared for a multi-query batch")
+	}
+	for k := 1; k <= 8; k++ { // 7, 8 are past the batch's kmax of 6
+		want := prep.PointsFor(k)
+		got := view.PointsFor(k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: band size %d, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i], 0) {
+				t.Fatalf("k=%d: band[%d] = %v, want %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCappedCountsCache pins the cross-batch count cache: counts computed
+// at a deeper rank serve shallower requests without recomputation (the
+// slice is reused), and a deeper request replaces them.
+func TestCappedCountsCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts, _ := randomInstance(rng, 60, 3)
+	prep, err := Prepare(pts, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4 := prep.cappedCounts(4)
+	c2 := prep.cappedCounts(2)
+	if &c4[0] != &c2[0] {
+		t.Error("shallower rank recomputed cached counts")
+	}
+	c6 := prep.cappedCounts(6)
+	for i, c := range c6 {
+		if c > 6 {
+			t.Fatalf("count[%d] = %d exceeds cap 6", i, c)
+		}
+	}
+}
+
+// TestShareForPassThrough pins the cases where sharing must not interpose:
+// single-query batches and index-backed Prepareds keep their own paths.
+func TestShareForPassThrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts, q := randomInstance(rng, 30, 3)
+	prep, err := Prepare(pts, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, sv := prep.shareFor([]Query{q}, []string{q.PointKey()}); got != prep || sv != nil {
+		t.Error("single-query batch built a share view")
+	}
+	indexed := PrepareIndexed(pts, 3, func(k int) []vec.Vec { return pts }, nil)
+	if got, sv := indexed.shareFor([]Query{q, q}, []string{q.PointKey(), q.PointKey()}); got != indexed || sv != nil {
+		t.Error("index-backed Prepared was wrapped by a share view")
+	}
+}

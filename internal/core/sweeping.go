@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"rrq/internal/geom"
 	"rrq/internal/obs"
@@ -39,9 +38,16 @@ func SweepingContext(ctx context.Context, pts []vec.Vec, q Query) (*Region, Stat
 	return sweepSolve(ctx, pts, q, nil)
 }
 
+// sweepEvent is one crossing inside the sweep window.
+type sweepEvent struct {
+	t    float64
+	incl bool
+}
+
 // sweepSolve is the sweep body shared by the validated entry points; src,
 // when non-nil, serves the (read-only) classified plane set from shared
-// storage.
+// storage. A worker arena riding on ctx supplies every scratch buffer, so
+// repeated solves on one batch worker allocate only the returned region.
 func sweepSolve(ctx context.Context, pts []vec.Vec, q Query, src PlaneSource) (*Region, Stats, error) {
 	var st Stats
 	if q.Q.Dim() != 2 {
@@ -52,9 +58,10 @@ func sweepSolve(ctx context.Context, pts []vec.Vec, q Query, src PlaneSource) (*
 	if check.Failed() {
 		return nil, st, check.Err()
 	}
+	a := arenaFrom(ctx)
 	planePhase := check.Phase("phase.sweep.planes")
 	defer planePhase()
-	ps := planesFor(src, pts, q)
+	ps := planesForArena(src, pts, q, a)
 	planePhase()
 	st.PlanesBuilt = len(ps.Crossing)
 	check.Emit(obs.EvPlaneBuilt, st.PlanesBuilt)
@@ -66,8 +73,36 @@ func sweepSolve(ctx context.Context, pts []vec.Vec, q Query, src PlaneSource) (*
 	sweepPhase := check.Phase("phase.sweep.sweep")
 	defer sweepPhase()
 
+	merged, collapsed, err := sweepIntervals(ps, k, a, &st, check)
+	if err != nil {
+		return nil, st, err
+	}
+	if collapsed {
+		return emptyRegion(2), st, nil
+	}
+	st.Pieces = len(merged)
+	check.Emit(obs.EvPieceEmitted, st.Pieces)
+	if len(merged) == 0 {
+		return emptyRegion(2), st, nil
+	}
+	// The merged intervals alias arena memory; the region owns a copy.
+	return newIntervalRegion(append([][2]float64(nil), merged...)), st, nil
+}
+
+// sweepIntervals runs the window reduction, event sweep and interval merge
+// over an already-classified plane set, with every buffer drawn from the
+// arena (a may be nil: a throwaway arena then takes the allocating path).
+// The returned intervals alias a.merged; collapsed reports that the window
+// reduction already disqualified the whole segment (the caller then skips
+// the piece-count event, as the pre-kernel code did). This is the
+// allocation-free hot path of the Sweeping solver; the AllocsPerRun
+// regression tests pin it at zero steady-state allocations.
+func sweepIntervals(ps PlaneSet, k int, a *Arena, st *Stats, check *CtxChecker) (merged [][2]float64, collapsed bool, err error) {
+	if a == nil {
+		a = &Arena{}
+	}
 	// Crossing parameters on L: u·w = 0 at t* = w2 / (w2 − w1).
-	var incl, excl []float64
+	incl, excl := a.incl[:0], a.excl[:0]
 	for _, h := range ps.Crossing {
 		w := h.Normal
 		t := w[1] / (w[1] - w[0])
@@ -77,65 +112,64 @@ func sweepSolve(ctx context.Context, pts []vec.Vec, q Query, src PlaneSource) (*
 			excl = append(excl, t)
 		}
 	}
+	a.incl, a.excl = incl, excl
 
 	// Partition reduction: everything past the k-th inclusive crossing and
 	// before the k-th exclusive crossing is covered by ≥ k negative
 	// half-spaces (Lemma 4.1 and its mirror).
 	tHi := 1.0
 	if len(incl) >= k {
-		tHi = kthSmallest(incl, k)
+		tHi, a.selBuf = topk.KthMinScratch(incl, k, a.selBuf)
 	}
 	tLo := 0.0
 	if len(excl) >= k {
-		tLo = topk.KthMax(excl, k)
+		tLo, a.selBuf = topk.KthMaxScratch(excl, k, a.selBuf)
 	}
 	if tLo >= tHi-geom.Tol {
 		check.Emit(obs.EvPlanePruned, st.PlanesBuilt)
-		return emptyRegion(2), st, nil
+		return nil, true, nil
 	}
 	if check.Stop() {
-		return nil, st, check.Err()
+		return nil, false, check.Err()
 	}
 
 	// Initial counter at the window start: inclusive planes already passed
 	// plus exclusive planes not yet passed.
 	q0 := 0
-	type event struct {
-		t    float64
-		incl bool
-	}
-	var events []event
+	events := a.events[:0]
 	for _, t := range incl {
 		switch {
 		case t <= tLo+geom.Tol:
 			q0++
 		case t < tHi-geom.Tol:
-			events = append(events, event{t, true})
+			events = append(events, sweepEvent{t, true})
 		}
 	}
 	for _, t := range excl {
 		if t > tLo+geom.Tol {
 			q0++
 			if t < tHi-geom.Tol {
-				events = append(events, event{t, false})
+				events = append(events, sweepEvent{t, false})
 			}
 		}
 	}
-	sort.Slice(events, func(a, b int) bool { return events[a].t < events[b].t })
+	a.events = events
+	sortSweepEvents(events)
 	st.PlanesInserted = len(events)
 	check.Emit(obs.EvPlanePruned, st.PlanesBuilt-st.PlanesInserted)
 
-	// Sweep the O(k) surviving partitions with an O(1) counter update.
-	var out [][2]float64
+	// Sweep the O(k) surviving partitions with an O(1) counter update. An
+	// interval is emitted only when the counter qualifies and the piece is
+	// wider than the tolerance; coincident events therefore never emit
+	// between themselves, so the result does not depend on their relative
+	// order.
+	out := a.ivs[:0]
 	qc := q0
 	prev := tLo
-	emit := func(a, b float64) {
-		if qc < k && b-a > geom.Tol {
-			out = append(out, [2]float64{a, b})
-		}
-	}
 	for _, ev := range events {
-		emit(prev, ev.t)
+		if qc < k && ev.t-prev > geom.Tol {
+			out = append(out, [2]float64{prev, ev.t})
+		}
 		if ev.incl {
 			qc++
 		} else {
@@ -143,15 +177,68 @@ func sweepSolve(ctx context.Context, pts []vec.Vec, q Query, src PlaneSource) (*
 		}
 		prev = ev.t
 	}
-	emit(prev, tHi)
-
-	merged := MergeIntervals(out)
-	st.Pieces = len(merged)
-	check.Emit(obs.EvPieceEmitted, st.Pieces)
-	if len(merged) == 0 {
-		return emptyRegion(2), st, nil
+	if qc < k && tHi-prev > geom.Tol {
+		out = append(out, [2]float64{prev, tHi})
 	}
-	return newIntervalRegion(merged), st, nil
+	a.ivs = out
+
+	// The sweep emits intervals in ascending start order, so the sorted
+	// merge of MergeIntervals reduces to one linear pass with the same
+	// touching tolerance.
+	merged = a.merged[:0]
+	for _, iv := range out {
+		if n := len(merged); n > 0 && iv[0] <= merged[n-1][1]+geom.Tol {
+			if iv[1] > merged[n-1][1] {
+				merged[n-1][1] = iv[1]
+			}
+		} else {
+			merged = append(merged, iv)
+		}
+	}
+	a.merged = merged
+	return merged, false, nil
+}
+
+// sortSweepEvents sorts events by ascending parameter with a hand-rolled
+// quicksort (median-of-three, insertion sort on small spans): sort.Slice
+// would allocate its reflect-based swapper on every solve. Equal-parameter
+// events may land in either order; the sweep's emission rule makes the
+// result independent of that order.
+func sortSweepEvents(ev []sweepEvent) {
+	for len(ev) > 12 {
+		mid := len(ev) / 2
+		hi := len(ev) - 1
+		if ev[mid].t < ev[0].t {
+			ev[mid], ev[0] = ev[0], ev[mid]
+		}
+		if ev[hi].t < ev[0].t {
+			ev[hi], ev[0] = ev[0], ev[hi]
+		}
+		if ev[mid].t < ev[hi].t {
+			ev[mid], ev[hi] = ev[hi], ev[mid]
+		}
+		pivot := ev[hi].t
+		p := 0
+		for j := 0; j < hi; j++ {
+			if ev[j].t < pivot {
+				ev[p], ev[j] = ev[j], ev[p]
+				p++
+			}
+		}
+		ev[p], ev[hi] = ev[hi], ev[p]
+		if p < len(ev)-p-1 {
+			sortSweepEvents(ev[:p])
+			ev = ev[p+1:]
+		} else {
+			sortSweepEvents(ev[p+1:])
+			ev = ev[:p]
+		}
+	}
+	for i := 1; i < len(ev); i++ {
+		for j := i; j > 0 && ev[j].t < ev[j-1].t; j-- {
+			ev[j], ev[j-1] = ev[j-1], ev[j]
+		}
+	}
 }
 
 // kthSmallest returns the k-th smallest element of xs (1-based).

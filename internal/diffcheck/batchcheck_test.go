@@ -1,0 +1,45 @@
+package diffcheck
+
+import "testing"
+
+// TestBatchSharedDifferentialSweep is the batch-sharing acceptance gate:
+// across the full corpus, mixed-(k, ε) batches with duplicates solved with
+// cross-query sharing must be byte-identical to independent per-query
+// solves — prefilter on and off, and served from an index snapshot between
+// interleaved mutations.
+func TestBatchSharedDifferentialSweep(t *testing.T) {
+	rep := RunBatchShared(Config{Seed: 20240805})
+
+	if rep.Problems < 200 {
+		t.Fatalf("ran %d problems, want ≥ 200", rep.Problems)
+	}
+	// Per problem: two fresh-Prepared batches plus 1 + BatchMutations
+	// index-served batches, unless a mismatch aborts the problem early.
+	if want := rep.Problems * (2 + 1 + BatchMutations); len(rep.Mismatches) == 0 && rep.Batches != want {
+		t.Errorf("compared %d batches, want %d", rep.Batches, want)
+	}
+	if want := rep.Problems * BatchMutations; len(rep.Mismatches) == 0 && rep.Mutations != want {
+		t.Errorf("applied %d mutations, want %d", rep.Mutations, want)
+	}
+	if rep.Queries == 0 {
+		t.Error("no per-query comparisons ran")
+	}
+	for i, m := range rep.Mismatches {
+		if i >= 5 {
+			t.Errorf("... and %d more mismatches", len(rep.Mismatches)-5)
+			break
+		}
+		t.Errorf("mismatch:\n%s", m.JSON())
+	}
+}
+
+// TestRunBatchSharedDeterminism: identical configs must produce identical
+// reports.
+func TestRunBatchSharedDeterminism(t *testing.T) {
+	cfg := Config{Seed: 13, Problems: 24}
+	a, b := RunBatchShared(cfg), RunBatchShared(cfg)
+	if a.Problems != b.Problems || a.Batches != b.Batches || a.Queries != b.Queries ||
+		a.Mutations != b.Mutations || len(a.Mismatches) != len(b.Mismatches) {
+		t.Fatalf("reports differ across identical runs: %+v vs %+v", a, b)
+	}
+}

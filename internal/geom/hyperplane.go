@@ -70,6 +70,35 @@ func NewHyperplane(normal vec.Vec, id int) Hyperplane {
 	}
 }
 
+// NewHyperplaneInto is NewHyperplane with caller-provided storage for the
+// unit normal: dst must have length normal.Dim() and may come from a reused
+// arena block. The stored values are bitwise-identical to what
+// NewHyperplane would produce (same scale and summation order), so planes
+// built through either path classify points identically.
+func NewHyperplaneInto(dst, normal vec.Vec, id int) Hyperplane {
+	n := normal.Norm()
+	if n < vec.Eps {
+		panic("geom: hyperplane with zero normal")
+	}
+	s := 1 / n
+	for i, x := range normal {
+		dst[i] = x * s
+	}
+	m := dst.Mean()
+	var tn float64
+	for _, x := range dst {
+		d := x - m
+		tn += d * d
+	}
+	return Hyperplane{
+		Normal:      dst,
+		ID:          id,
+		tangentNorm: math.Sqrt(tn),
+		offsetMean:  m,
+		unit:        dst,
+	}
+}
+
 // PackNormals repacks the unit normals of planes into one contiguous flat
 // backing array, stride Dim, in slice order. The planes' geometry is
 // unchanged (values are copied verbatim); only the storage moves, so the

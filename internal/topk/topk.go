@@ -37,6 +37,47 @@ func KthMax(xs []float64, k int) float64 {
 	return quickselectDesc(buf, k-1)
 }
 
+// KthMaxScratch is KthMax with caller-owned scratch storage: xs is copied
+// into buf (grown as needed) instead of a fresh allocation, and the grown
+// buffer is returned for reuse. The selected value is identical to
+// KthMax's.
+func KthMaxScratch(xs []float64, k int, buf []float64) (float64, []float64) {
+	n := len(xs)
+	if n == 0 {
+		panic("topk: KthMax of empty slice")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	buf = append(buf[:0], xs...)
+	return quickselectDesc(buf, k-1), buf
+}
+
+// KthMinScratch returns the k-th smallest value of xs (1-based, clamped
+// like KthMax) using buf as scratch: the negated values are selected with
+// the same descending quickselect, so the result is bitwise-identical to
+// -KthMax(-xs, k).
+func KthMinScratch(xs []float64, k int, buf []float64) (float64, []float64) {
+	n := len(xs)
+	if n == 0 {
+		panic("topk: KthMin of empty slice")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	buf = buf[:0]
+	for _, x := range xs {
+		buf = append(buf, -x)
+	}
+	return -quickselectDesc(buf, k-1), buf
+}
+
 // quickselectDesc returns the element that would be at index i if buf were
 // sorted in descending order. It partially reorders buf.
 func quickselectDesc(buf []float64, i int) float64 {
