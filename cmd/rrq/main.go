@@ -51,6 +51,7 @@ func main() {
 		indexMode = flag.String("index", "", "build|load: serve queries from a persistent snapshot index instead of per-query preprocessing")
 		indexFile = flag.String("index-file", "", "index file path: written by -index build, read by -index load")
 		kmax      = flag.Int("kmax", 0, "rank ceiling of the index's rank-level tree for -index build (0 = default)")
+		ixCompat  = flag.Bool("index-compat", false, "accept the legacy headerless index file format with -index load")
 	)
 	flag.Parse()
 
@@ -134,6 +135,9 @@ func main() {
 		}
 		if reg != nil {
 			opts = append(opts, rrq.WithMetrics(reg))
+		}
+		if *ixCompat {
+			opts = append(opts, rrq.WithIndexCompat(true))
 		}
 		indexMain(ctx, ds, reg, *indexMode, *indexFile, *qStr, *qsStr, *k, *kmax, *eps, *measureN, *workers, *asJSON, opts)
 		return

@@ -10,8 +10,18 @@
 //	rrqd -synthetic indep:5000:3:1 -cache 1024 -cache-bounds
 //	rrqd -real NBA:3000 -policy cap -capacity 8 -queue 64
 //	rrqd -synthetic indep:2000:2:7 -tenant-rate 50000 -tenant-burst 200000
+//	rrqd -synthetic indep:2000:3:1 -wal-dir /var/lib/rrqd -fsync always
 //
-// See docs/SERVING.md for the endpoint reference and cache semantics.
+// With -wal-dir the server is durable: mutations are written ahead to a
+// checksummed log before they are acknowledged, snapshots fold into
+// crash-atomic checkpoints every -checkpoint-every mutations, and a
+// restart recovers the acknowledged state (replaying the WAL tail,
+// truncating torn records) while the listener answers 503 "recovering".
+// The dataset flags then only seed the very first start — a restart
+// recovers from the directory alone.
+//
+// See docs/SERVING.md for the endpoint reference, cache semantics and the
+// durability contract.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 
 	"rrq"
 	"rrq/internal/dataset"
+	"rrq/internal/faultinject"
 	"rrq/internal/server"
 )
 
@@ -52,11 +63,17 @@ func main() {
 		queueLen    = flag.Int("queue", 64, "queued requests beyond the slots before the cap policy sheds")
 		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant refill rate in work units/second (0 = no metering)")
 		tenantBurst = flag.Float64("tenant-burst", 0, "per-tenant budget burst in work units")
+
+		walDir     = flag.String("wal-dir", "", "durability directory (WAL + checkpoints); empty = in-memory only")
+		fsync      = flag.String("fsync", "always", `WAL fsync policy: "always", "interval" or "never"`)
+		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, `flush period under -fsync interval`)
+		ckptEvery  = flag.Int("checkpoint-every", 0, "mutations between automatic checkpoints (0 = default 256)")
+		compat     = flag.Bool("index-compat", false, "accept legacy headerless checkpoint/index files")
+		drainT     = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain limit before in-flight requests are force-closed")
+		drainG     = flag.Duration("drain-grace", 0, "after SIGTERM, keep the listener open this long answering 503 so load balancers observe the drain before connections close")
+		solveDelay = flag.Duration("debug-solve-delay", 0, "artificial per-solve delay (shutdown/drain testing only)")
 	)
 	flag.Parse()
-
-	ds, err := loadDataset(*dataPath, *synthetic, *real)
-	fatal(err)
 
 	algo, err := parseAlgo(*algoStr)
 	fatal(err)
@@ -90,11 +107,22 @@ func main() {
 		opts = append(opts, rrq.WithFallback(chain...))
 	}
 
-	buildStart := time.Now()
-	ix, err := rrq.BuildIndex(ds, opts...)
-	fatal(err)
-	fmt.Printf("rrqd: index built: %d points, dim %d, epoch %d (%v)\n",
-		ix.Len(), ix.Dim(), ix.Version(), time.Since(buildStart).Round(time.Millisecond))
+	if *compat {
+		opts = append(opts, rrq.WithIndexCompat(true))
+	}
+
+	durable := *walDir != ""
+	var ix *rrq.Index
+	if !durable {
+		// In-memory serving: build before listening, exactly as before.
+		ds, err := loadDataset(*dataPath, *synthetic, *real)
+		fatal(err)
+		buildStart := time.Now()
+		ix, err = rrq.BuildIndex(ds, opts...)
+		fatal(err)
+		fmt.Printf("rrqd: index built: %d points, dim %d, epoch %d (%v)\n",
+			ix.Len(), ix.Dim(), ix.Version(), time.Since(buildStart).Round(time.Millisecond))
+	}
 
 	policy, err := server.ParseAdmissionPolicy(*policyStr)
 	fatal(err)
@@ -102,12 +130,19 @@ func main() {
 		*capacity = runtime.GOMAXPROCS(0)
 	}
 	cfg := server.Config{
-		Index:     ix,
-		Metrics:   reg,
-		Admission: server.NewAdmission(policy, *capacity, *queueLen),
+		Index:      ix,
+		Recovering: durable,
+		Metrics:    reg,
+		Admission:  server.NewAdmission(policy, *capacity, *queueLen),
 	}
 	if *tenantRate > 0 && *tenantBurst > 0 {
 		cfg.Tenants = server.NewTenantBudgets(*tenantRate, *tenantBurst)
+	}
+	if *solveDelay > 0 {
+		in := faultinject.New(&faultinject.Fault{Point: faultinject.SolveStart, Delay: *solveDelay})
+		cfg.BaseContext = func() context.Context {
+			return faultinject.ContextWith(context.Background(), in)
+		}
 	}
 	srv, err := server.New(cfg)
 	fatal(err)
@@ -120,16 +155,61 @@ func main() {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	if durable {
+		// Recover while the listener answers 503 "recovering": the dataset
+		// flags seed only a first start — the closure is not invoked when a
+		// checkpoint exists, so restarts need no dataset source.
+		recoverStart := time.Now()
+		seed := func() (*rrq.Dataset, error) {
+			ds, err := loadDataset(*dataPath, *synthetic, *real)
+			if err != nil {
+				return nil, fmt.Errorf("rrqd: no checkpoint in %s, seeding needs a dataset: %w", *walDir, err)
+			}
+			return ds, nil
+		}
+		var rec *rrq.RecoveryInfo
+		ix, rec, err = rrq.OpenDurableIndex(rrq.DurableConfig{
+			Dir:             *walDir,
+			Fsync:           *fsync,
+			FsyncInterval:   *fsyncEvery,
+			CheckpointEvery: *ckptEvery,
+		}, seed, opts...)
+		fatal(err)
+		fmt.Printf("rrqd: recovered in %v: %s\n", time.Since(recoverStart).Round(time.Millisecond), rec)
+		srv.Ready(ix)
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Printf("rrqd: %v — draining\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Printf("rrqd: %v — draining (timeout %v)\n", sig, *drainT)
+		srv.StartDrain()
+		if *drainG > 0 {
+			// Announce before closing: new requests answer 503 with
+			// Retry-After while the listener stays open, giving health
+			// checkers time to deregister the instance.
+			time.Sleep(*drainG)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drainT)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "rrqd: shutdown: %v\n", err)
-			os.Exit(1)
+			// Drain expired: count it, force-close the stragglers and keep
+			// shutting down — durability does not depend on their answers.
+			reg.Counter("server.drain_forced").Inc()
+			fmt.Fprintf(os.Stderr, "rrqd: drain timeout after %v, forcing close: %v\n", *drainT, err)
+			_ = httpSrv.Close()
+		}
+		if durable {
+			// Final checkpoint: a clean restart then replays nothing.
+			if err := ix.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "rrqd: final checkpoint: %v (WAL remains authoritative)\n", err)
+			} else {
+				fmt.Printf("rrqd: final checkpoint at version %d\n", ix.LastCheckpointVersion())
+			}
+			if err := ix.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "rrqd: wal close: %v\n", err)
+			}
 		}
 		fmt.Println("rrqd: clean shutdown")
 	case err := <-errc:

@@ -30,7 +30,8 @@ type Index struct {
 	inner *index.Index
 	cfg   config
 	dim   int
-	cache *cache.Cache // nil without WithResultCache
+	cache *cache.Cache   // nil without WithResultCache
+	dur   *index.Durable // nil unless opened with OpenDurableIndex
 }
 
 // WithKmax sets the rank ceiling of the index's rank-level tree (default 8).
@@ -414,13 +415,20 @@ func (ix *Index) Save(w io.Writer) error { return ix.inner.Save(w) }
 
 // LoadIndex restores an index written by Save and resumes it at the saved
 // epoch. The options configure solving defaults exactly as in BuildIndex;
-// the index shape (kmax, tree budget) comes from the file.
+// the index shape (kmax, tree budget) comes from the file. Files are
+// validated (magic, format version, checksum) and rejected with a typed
+// error on mismatch; WithIndexCompat additionally accepts the legacy
+// headerless format.
 func LoadIndex(r io.Reader, opts ...Option) (*Index, error) {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	inner, err := index.Load(r)
+	load := index.Load
+	if cfg.indexCompat {
+		load = index.LoadCompat
+	}
+	inner, err := load(r)
 	if err != nil {
 		return nil, err
 	}

@@ -36,6 +36,20 @@ const (
 	// BudgetCheck fires when a work-budget charge is evaluated. An Err
 	// surfaces as the budget-exhaustion error of the charge.
 	BudgetCheck Point = "budget-check"
+	// WALAppend fires before a WAL record write, keyed by the mutated point
+	// (nil for deletes). Supports Err, Delay and — via ShortWrite — torn
+	// and short writes: the site writes only ShortWrite bytes of the
+	// encoded record before reporting Err, leaving a torn tail exactly as a
+	// crash mid-write would.
+	WALAppend Point = "wal-append"
+	// WALSync fires before a WAL fsync. An Err surfaces as the sync
+	// failure of the append (or background flush) that triggered it.
+	WALSync Point = "wal-sync"
+	// CheckpointRename fires between writing a checkpoint's temporary file
+	// and renaming it into place — the atomicity window. An Err aborts the
+	// checkpoint with the temp file removed; the previous checkpoint stays
+	// authoritative.
+	CheckpointRename Point = "checkpoint-rename"
 )
 
 // Fault is one armed fault: where it fires, which queries it matches, what
@@ -53,6 +67,11 @@ type Fault struct {
 	Err error
 	// Panics, when non-nil, panics with this value at the fire site.
 	Panics any
+	// ShortWrite, when positive, asks the fire site to persist only the
+	// first ShortWrite bytes of the payload it was about to write before
+	// applying Err — the torn-tail mode of the WAL fault points. Sites read
+	// it through Plan; Fire ignores it.
+	ShortWrite int
 	// Times bounds how often the fault fires; ≤ 0 means unlimited.
 	Times int64
 
@@ -106,6 +125,27 @@ func (in *Injector) Fire(p Point, key []float64) error {
 	for _, f := range in.byPoint[p] {
 		if f.claim(key) {
 			return f.fire()
+		}
+	}
+	return nil
+}
+
+// Plan triggers the first matching fault armed at p like Fire, but returns
+// the fault itself so the site can honor effects richer than an error —
+// the WAL append site reads ShortWrite from it to produce torn tails. The
+// fault's delay has been applied and panics have fired by the time Plan
+// returns; the caller applies ShortWrite and then reports the fault's Err.
+// Returns nil when nothing armed at p matches.
+func (in *Injector) Plan(p Point, key []float64) *Fault {
+	for _, f := range in.byPoint[p] {
+		if f.claim(key) {
+			if f.Delay > 0 {
+				time.Sleep(f.Delay)
+			}
+			if f.Panics != nil {
+				panic(f.Panics)
+			}
+			return f
 		}
 	}
 	return nil

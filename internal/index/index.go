@@ -33,6 +33,7 @@ import (
 	"rrq/internal/obs"
 	"rrq/internal/skyband"
 	"rrq/internal/vec"
+	"rrq/internal/wal"
 )
 
 // DefaultKmax is the rank ceiling of the snapshot rank tree when Options
@@ -68,6 +69,10 @@ type Index struct {
 
 	mu   sync.Mutex // serializes Insert/Delete
 	snap atomic.Pointer[Snapshot]
+
+	// dur, once attached by OpenDurable, write-ahead-logs every mutation
+	// before its epoch is published and checkpoints on a record cadence.
+	dur *Durable
 }
 
 // planeStats is the index-lifetime plane-cache traffic, shared by every
@@ -222,7 +227,15 @@ func (ix *Index) Insert(p vec.Vec) (uint64, error) {
 		}
 	}
 	next := newSnapshot(old.version+1, old.dim, old.opts, pts, dom, old.pstats)
+	if ix.dur != nil {
+		if err := ix.dur.logAppend(wal.Record{Epoch: next.version, Op: wal.OpInsert, Point: pts[n]}); err != nil {
+			return old.version, fmt.Errorf("index: insert not logged, mutation rejected: %w", err)
+		}
+	}
 	ix.snap.Store(next)
+	if ix.dur != nil {
+		ix.dur.committed(next.version)
+	}
 	return next.version, nil
 }
 
@@ -252,7 +265,15 @@ func (ix *Index) Delete(i int) (uint64, error) {
 		dom = append(dom, c)
 	}
 	next := newSnapshot(old.version+1, old.dim, old.opts, pts, dom, old.pstats)
+	if ix.dur != nil {
+		if err := ix.dur.logAppend(wal.Record{Epoch: next.version, Op: wal.OpDelete, Index: i}); err != nil {
+			return old.version, fmt.Errorf("index: delete not logged, mutation rejected: %w", err)
+		}
+	}
 	ix.snap.Store(next)
+	if ix.dur != nil {
+		ix.dur.committed(next.version)
+	}
 	return next.version, nil
 }
 

@@ -1,22 +1,74 @@
 package index
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
+	"rrq/internal/faultinject"
 	"rrq/internal/vec"
 )
 
 // persistFormat is bumped whenever the on-disk layout changes; Load rejects
-// unknown formats instead of misreading them.
-const persistFormat = 1
+// formats from the future instead of misreading them.
+const persistFormat = 2
 
-// indexFile is the gob-encoded on-disk form of an index. Only the durable
-// inputs are stored — points, options and the epoch counter; dominator
-// counts and all per-snapshot derived state (skyband views, plane sets, the
-// rank tree) are recomputed on load, which keeps the file format independent
-// of cache internals.
+// persistMagic opens every checkpoint file. A stream that does not start
+// with it is either a legacy headerless gob (format 1, readable via
+// LoadCompat) or not an index at all.
+var persistMagic = [8]byte{'R', 'R', 'Q', 'I', 'N', 'D', 'E', 'X'}
+
+// persistHeaderLen is the fixed header: 8-byte magic, uint32 format,
+// uint32 CRC32C of the payload, uint64 payload length (little-endian).
+const persistHeaderLen = 8 + 4 + 4 + 8
+
+// persistCRC is the Castagnoli table shared with the WAL.
+var persistCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// PersistReason classifies why a persisted index was rejected.
+type PersistReason string
+
+const (
+	// PersistBadMagic: the stream does not start with the index magic (and
+	// compat decoding was not requested or also failed).
+	PersistBadMagic PersistReason = "bad-magic"
+	// PersistFutureFormat: the header's format number is newer than this
+	// build understands.
+	PersistFutureFormat PersistReason = "future-format"
+	// PersistChecksum: the payload does not match the header's CRC32C —
+	// a torn write or bit rot.
+	PersistChecksum PersistReason = "checksum-mismatch"
+	// PersistTruncated: the stream ended before the header-declared
+	// payload length.
+	PersistTruncated PersistReason = "truncated"
+	// PersistDecode: the checksummed payload failed to decode or failed
+	// semantic validation (bad dimension, invalid version, bad points).
+	PersistDecode PersistReason = "decode"
+)
+
+// PersistError is the typed rejection of a persisted index: a corrupt,
+// torn, foreign or future-format file never loads as a silently wrong
+// dataset.
+type PersistError struct {
+	Reason PersistReason
+	Detail string
+}
+
+func (e *PersistError) Error() string {
+	return fmt.Sprintf("index: persist: %s: %s", e.Reason, e.Detail)
+}
+
+// indexFile is the gob-encoded payload of a persisted index. Only the
+// durable inputs are stored — points, options and the epoch counter;
+// dominator counts and all per-snapshot derived state (skyband views,
+// plane sets, the rank tree) are recomputed on load, which keeps the file
+// format independent of cache internals.
 type indexFile struct {
 	Format  int
 	Version uint64
@@ -26,8 +78,10 @@ type indexFile struct {
 	Pts     [][]float64
 }
 
-// Save writes the current snapshot to w. Concurrent mutations are safe: the
-// snapshot is captured once and is immutable.
+// Save writes the current snapshot to w: the persistMagic header with
+// format number, CRC32C and length of the gob payload, then the payload.
+// Concurrent mutations are safe: the snapshot is captured once and is
+// immutable. Use SaveFile for the crash-atomic on-disk form.
 func (ix *Index) Save(w io.Writer) error {
 	s := ix.Snapshot()
 	f := indexFile{
@@ -41,19 +95,162 @@ func (ix *Index) Save(w io.Writer) error {
 	for i, p := range s.pts {
 		f.Pts[i] = p
 	}
-	return gob.NewEncoder(w).Encode(&f)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&f); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	var hdr [persistHeaderLen]byte
+	copy(hdr[:8], persistMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], persistFormat)
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(payload.Bytes(), persistCRC))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
 }
 
-// Load reads an index previously written by Save, revalidates every point
-// and recomputes the dominator counts. The restored index resumes at the
-// saved epoch number, so versions stay monotone across a save/load cycle.
-func Load(r io.Reader) (*Index, error) {
+// SaveFile writes the current snapshot to path crash-atomically: the bytes
+// go to a temporary file in the same directory, reach stable storage via
+// fsync, and only then rename over path (itself fsynced at the directory).
+// A crash at any point leaves either the old file or the new one — never a
+// torn mix.
+func (ix *Index) SaveFile(path string) error { return ix.saveFile(path, nil) }
+
+// saveFile is SaveFile with an optional fault injector arming the
+// CheckpointRename point (the atomicity window between temp write and
+// rename).
+func (ix *Index) saveFile(path string, in *faultinject.Injector) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	bw := bufio.NewWriter(tmp)
+	if err := ix.Save(bw); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(fmt.Errorf("index: save: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("index: save: sync: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("index: save: %w", err))
+	}
+	if in != nil {
+		if err := in.Fire(faultinject.CheckpointRename, nil); err != nil {
+			os.Remove(tmpName)
+			return fmt.Errorf("index: save: %w", err)
+		}
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("index: save: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename into it is durable; best-effort
+// (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Load reads an index previously written by Save, verifying magic, format
+// and checksum before any decoding, then revalidates every point and
+// recomputes the dominator counts. Rejections are typed *PersistError
+// values. The restored index resumes at the saved epoch number, so
+// versions stay monotone across a save/load cycle.
+func Load(r io.Reader) (*Index, error) { return load(r, false) }
+
+// LoadCompat is Load with the legacy escape hatch: a stream that does not
+// start with the index magic is decoded as the headerless format-1 gob
+// written before checksummed checkpoints existed. Only reach for it behind
+// an explicit operator flag — a legacy stream has no checksum, so
+// corruption can masquerade as data.
+func LoadCompat(r io.Reader) (*Index, error) { return load(r, true) }
+
+func load(r io.Reader, compat bool) (*Index, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(persistMagic))
+	if err != nil {
+		return nil, &PersistError{Reason: PersistTruncated,
+			Detail: fmt.Sprintf("reading magic: %v", err)}
+	}
+	if !bytes.Equal(head, persistMagic[:]) {
+		if compat {
+			return loadLegacy(br)
+		}
+		return nil, &PersistError{Reason: PersistBadMagic,
+			Detail: fmt.Sprintf("not an index checkpoint (got %q; legacy headerless files need the compat flag)", head)}
+	}
+	var hdr [persistHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, &PersistError{Reason: PersistTruncated,
+			Detail: fmt.Sprintf("reading header: %v", err)}
+	}
+	format := binary.LittleEndian.Uint32(hdr[8:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[12:])
+	plen := binary.LittleEndian.Uint64(hdr[16:])
+	if format > persistFormat {
+		return nil, &PersistError{Reason: PersistFutureFormat,
+			Detail: fmt.Sprintf("format %d is newer than this build's %d", format, persistFormat)}
+	}
+	const maxCheckpoint = 1 << 32
+	if plen > maxCheckpoint {
+		return nil, &PersistError{Reason: PersistDecode,
+			Detail: fmt.Sprintf("implausible payload length %d", plen)}
+	}
+	payload := make([]byte, plen)
+	if n, err := io.ReadFull(br, payload); err != nil {
+		return nil, &PersistError{Reason: PersistTruncated,
+			Detail: fmt.Sprintf("payload ends at %d of %d bytes", n, plen)}
+	}
+	if got := crc32.Checksum(payload, persistCRC); got != wantCRC {
+		return nil, &PersistError{Reason: PersistChecksum,
+			Detail: fmt.Sprintf("stored %08x, computed %08x", wantCRC, got)}
+	}
+	var f indexFile
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&f); err != nil {
+		return nil, &PersistError{Reason: PersistDecode, Detail: err.Error()}
+	}
+	return rebuild(&f)
+}
+
+// loadLegacy decodes the format-1 headerless gob stream.
+func loadLegacy(r io.Reader) (*Index, error) {
 	var f indexFile
 	if err := gob.NewDecoder(r).Decode(&f); err != nil {
-		return nil, fmt.Errorf("index: load: %w", err)
+		return nil, &PersistError{Reason: PersistDecode, Detail: "legacy gob: " + err.Error()}
 	}
-	if f.Format != persistFormat {
-		return nil, fmt.Errorf("index: load: unknown format %d (want %d)", f.Format, persistFormat)
+	if f.Format != 1 {
+		return nil, &PersistError{Reason: PersistDecode,
+			Detail: fmt.Sprintf("legacy gob claims format %d (want 1)", f.Format)}
+	}
+	return rebuild(&f)
+}
+
+// rebuild revalidates a decoded payload and reconstructs the index at its
+// saved epoch.
+func rebuild(f *indexFile) (*Index, error) {
+	if f.Version < 1 {
+		return nil, &PersistError{Reason: PersistDecode,
+			Detail: fmt.Sprintf("invalid version %d", f.Version)}
 	}
 	pts := make([]vec.Vec, len(f.Pts))
 	for i, p := range f.Pts {
@@ -61,12 +258,19 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	ix, err := Build(pts, f.Dim, Options{Kmax: f.Kmax, TreeNodes: f.Nodes})
 	if err != nil {
-		return nil, fmt.Errorf("index: load: %w", err)
-	}
-	if f.Version < 1 {
-		return nil, fmt.Errorf("index: load: invalid version %d", f.Version)
+		return nil, &PersistError{Reason: PersistDecode, Detail: err.Error()}
 	}
 	s := ix.snap.Load()
 	s.version = f.Version
 	return ix, nil
+}
+
+// LoadFile opens and loads one checkpoint file.
+func LoadFile(path string, compat bool) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return load(f, compat)
 }

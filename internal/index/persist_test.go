@@ -1,0 +1,180 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rrq/internal/faultinject"
+	"rrq/internal/vec"
+)
+
+func buildTestIndex(t *testing.T) *Index {
+	t.Helper()
+	pts := []vec.Vec{
+		{0.9, 0.2, 0.3}, {0.4, 0.8, 0.1}, {0.2, 0.3, 0.9}, {0.7, 0.7, 0.2}, {0.5, 0.5, 0.5},
+	}
+	ix, err := Build(pts, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func saved(t *testing.T, ix *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func wantPersistError(t *testing.T, err error, reason PersistReason) {
+	t.Helper()
+	var pe *PersistError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v (%T), want *PersistError", err, err)
+	}
+	if pe.Reason != reason {
+		t.Fatalf("PersistError reason %q, want %q (%v)", pe.Reason, reason, pe)
+	}
+}
+
+// TestLoadRejectsBitFlip is the regression for the headerless format: a
+// single flipped bit anywhere in the file must be caught by the header
+// checks, never decoded as data.
+func TestLoadRejectsBitFlip(t *testing.T) {
+	raw := saved(t, buildTestIndex(t))
+	for _, off := range []int{0, 5, 9, 13, 17, persistHeaderLen, persistHeaderLen + 7, len(raw) - 1} {
+		flipped := append([]byte(nil), raw...)
+		flipped[off] ^= 0x10
+		if _, err := Load(bytes.NewReader(flipped)); err == nil {
+			t.Fatalf("bit flip at offset %d accepted by Load", off)
+		} else {
+			var pe *PersistError
+			if !errors.As(err, &pe) {
+				t.Fatalf("bit flip at offset %d: error %T, want *PersistError", off, err)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	_, err := Load(bytes.NewReader([]byte("GOBBLEDYGOOK and then some")))
+	wantPersistError(t, err, PersistBadMagic)
+}
+
+func TestLoadRejectsFutureFormat(t *testing.T) {
+	raw := saved(t, buildTestIndex(t))
+	raw[8] = 0xFF // format field low byte
+	_, err := Load(bytes.NewReader(raw))
+	wantPersistError(t, err, PersistFutureFormat)
+}
+
+func TestLoadRejectsChecksumMismatch(t *testing.T) {
+	raw := saved(t, buildTestIndex(t))
+	raw[persistHeaderLen+3] ^= 0x01 // payload byte
+	_, err := Load(bytes.NewReader(raw))
+	wantPersistError(t, err, PersistChecksum)
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	raw := saved(t, buildTestIndex(t))
+	for _, cut := range []int{3, persistHeaderLen - 1, persistHeaderLen + 10, len(raw) - 1} {
+		_, err := Load(bytes.NewReader(raw[:cut]))
+		wantPersistError(t, err, PersistTruncated)
+	}
+}
+
+// TestLoadCompatReadsLegacyGob: the pre-header format (raw gob of
+// indexFile with Format 1) loads only through the compat escape hatch.
+func TestLoadCompatReadsLegacyGob(t *testing.T) {
+	legacy := indexFile{
+		Format:  1,
+		Version: 7,
+		Dim:     3,
+		Kmax:    8,
+		Pts:     [][]float64{{0.9, 0.2, 0.3}, {0.4, 0.8, 0.1}, {0.2, 0.3, 0.9}},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	_, err := Load(bytes.NewReader(raw))
+	wantPersistError(t, err, PersistBadMagic)
+
+	ix, err := LoadCompat(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("LoadCompat: %v", err)
+	}
+	if ix.Version() != 7 || ix.Len() != 3 || ix.Dim() != 3 || ix.Kmax() != 8 {
+		t.Fatalf("legacy load: version %d len %d dim %d kmax %d", ix.Version(), ix.Len(), ix.Dim(), ix.Kmax())
+	}
+	// The current format also loads through LoadCompat.
+	if _, err := LoadCompat(bytes.NewReader(saved(t, buildTestIndex(t)))); err != nil {
+		t.Fatalf("LoadCompat on current format: %v", err)
+	}
+}
+
+func TestSaveFileAtomicAndLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.ckpt")
+	ix := buildTestIndex(t)
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ix.Len() || loaded.Version() != ix.Version() {
+		t.Fatalf("LoadFile: len %d version %d", loaded.Len(), loaded.Version())
+	}
+	// Overwrite must leave no temp residue.
+	if _, err := ix.Insert(vec.Vec{0.3, 0.3, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after overwrite, want 1", len(ents))
+	}
+	if re, err := LoadFile(path, false); err != nil || re.Version() != 2 {
+		t.Fatalf("reload after overwrite: version %v err %v", re.Version(), err)
+	}
+}
+
+// TestSaveFileRenameFault: a fault in the atomicity window must leave the
+// previous checkpoint untouched and no temp files behind.
+func TestSaveFileRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.ckpt")
+	ix := buildTestIndex(t)
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Insert(vec.Vec{0.3, 0.3, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("rename blocked")
+	in := faultinject.New(&faultinject.Fault{Point: faultinject.CheckpointRename, Err: boom, Times: 1})
+	if err := ix.saveFile(path, in); !errors.Is(err, boom) {
+		t.Fatalf("faulted save error = %v, want %v", err, boom)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after faulted save, want 1", len(ents))
+	}
+	old, err := LoadFile(path, false)
+	if err != nil || old.Version() != 1 {
+		t.Fatalf("previous checkpoint damaged: version %v err %v", old.Version(), err)
+	}
+}

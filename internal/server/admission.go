@@ -125,17 +125,31 @@ func (a *Admission) observe(elapsed time.Duration) {
 	}
 }
 
+// Retry-After bounds: never advertise 0 (clients would hammer a cold
+// server whose EWMA is still empty), never more than a minute (a huge
+// estimate from one pathological solve should not push clients into
+// effectively giving up — the queue drains faster than the worst sample
+// suggests).
+const (
+	minRetryAfter = time.Second
+	maxRetryAfter = 60 * time.Second
+)
+
 // retryAfter estimates how long until the queue drains below the cap: the
 // excess depth divided by the service rate (capacity slots, each finishing
-// every avgSolve). With no history yet it answers the 1s floor.
+// every avgSolve), clamped to [minRetryAfter, maxRetryAfter]. With no
+// history yet it answers the floor.
 func (a *Admission) retryAfter(depth int64) time.Duration {
 	avg := time.Duration(a.avgSolveNs.Load())
 	if avg <= 0 {
-		return time.Second
+		return minRetryAfter
 	}
 	d := time.Duration(depth-int64(a.capacity)) * avg / time.Duration(a.capacity)
-	if d < time.Second {
-		return time.Second
+	if d < minRetryAfter {
+		return minRetryAfter
+	}
+	if d > maxRetryAfter {
+		return maxRetryAfter
 	}
 	return d.Round(time.Second)
 }

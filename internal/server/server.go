@@ -25,17 +25,25 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rrq"
 	"rrq/internal/core"
 )
 
-// Config assembles a Server. Index is required; everything else has a
-// serviceable default.
+// Config assembles a Server. Index is required unless Recovering;
+// everything else has a serviceable default.
 type Config struct {
-	// Index serves every query and mutation.
+	// Index serves every query and mutation. It may be nil when Recovering
+	// is set: the server then answers 503 (with Retry-After) until Ready
+	// publishes the recovered index — this is what lets rrqd listen, and
+	// report health honestly, while it replays its WAL.
 	Index *rrq.Index
+	// Recovering starts the server without an index: /healthz reports
+	// "recovering" and every v1 endpoint sheds with 503 + Retry-After
+	// until Ready is called.
+	Recovering bool
 	// Metrics, when set, receives the server counters ("server.requests",
 	// "server.shed", "server.tenant_rejected", "server.dedup") and the
 	// "server.queue_depth" gauge. Share the registry with the index options
@@ -60,12 +68,19 @@ type Server struct {
 	adm     *Admission
 	mux     *http.ServeMux
 	flights flightGroup
+
+	// ix is the served index: nil while recovering, published by Ready.
+	ix atomic.Pointer[rrq.Index]
+	// draining is flipped by StartDrain: in-flight requests finish, new
+	// v1 requests answer 503 so clients re-resolve instead of queueing
+	// behind a closing listener.
+	draining atomic.Bool
 }
 
 // New validates the configuration and builds the server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Index == nil {
-		return nil, errors.New("server: Config.Index is required")
+	if cfg.Index == nil && !cfg.Recovering {
+		return nil, errors.New("server: Config.Index is required (or set Recovering and publish via Ready)")
 	}
 	if cfg.Admission == nil {
 		cfg.Admission = NewAdmission(AdmitAlways, runtime.GOMAXPROCS(0), 0)
@@ -74,6 +89,9 @@ func New(cfg Config) (*Server, error) {
 		cfg.Now = time.Now
 	}
 	s := &Server{cfg: cfg, adm: cfg.Admission}
+	if cfg.Index != nil {
+		s.ix.Store(cfg.Index)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/insert", s.handleInsert)
@@ -86,6 +104,41 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ready publishes the index of a Recovering server: recovery is complete,
+// v1 endpoints start serving. Safe to call at most once, from any
+// goroutine.
+func (s *Server) Ready(ix *rrq.Index) { s.ix.Store(ix) }
+
+// StartDrain puts the server into draining: every subsequent v1 request
+// answers 503 with Retry-After while in-flight solves run to completion.
+// The caller (rrqd's signal handler) then waits via http.Server.Shutdown.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// gate resolves the served index for one request, or writes the 503
+// unavailable response (recovering/draining, Retry-After set) and returns
+// nil.
+func (s *Server) gate(w http.ResponseWriter) *rrq.Index {
+	if s.draining.Load() {
+		s.unavailable(w, "draining")
+		return nil
+	}
+	ix := s.ix.Load()
+	if ix == nil {
+		s.unavailable(w, "recovering")
+		return nil
+	}
+	return ix
+}
+
+// unavailable sheds one request while the server cannot serve: 503, a
+// stable kind, and a Retry-After so well-behaved clients back off.
+func (s *Server) unavailable(w http.ResponseWriter, kind string) {
+	s.counter("server.unavailable")
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error: "server " + kind + ", retry shortly", Kind: kind, RetryAfterS: 1})
+}
 
 // counter bumps a named server counter when metrics are configured.
 func (s *Server) counter(name string) {
@@ -215,6 +268,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.counter("server.requests")
+	ix := s.gate(w)
+	if ix == nil {
+		return
+	}
 	var req solveRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, err, 0)
@@ -250,10 +307,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// The key pairs the canonical query form with the current epoch so a
 	// mutation mid-flight never couples requests across versions (each
 	// solve still pins its own snapshot).
-	key := strconv.FormatUint(s.cfg.Index.Version(), 10) + "|" + q.Key()
+	key := strconv.FormatUint(ix.Version(), 10) + "|" + q.Key()
 	start := time.Now()
 	res, shared, err := s.flights.Do(key, func() (rrq.Result, error) {
-		return s.cfg.Index.SolveContext(ctx, q)
+		return ix.SolveContext(ctx, q)
 	})
 	release(time.Since(start))
 	s.gaugeDepth()
@@ -274,7 +331,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := solveResponse{
-		Version:    s.cfg.Index.Version(),
+		Version:    ix.Version(),
 		Partitions: res.Region.NumPartitions(),
 		ElapsedMS:  float64(res.Elapsed.Microseconds()) / 1000,
 		Cache:      res.Cache.String(),
@@ -315,12 +372,16 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	ix := s.gate(w)
+	if ix == nil {
+		return
+	}
 	var req insertRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, err, 0)
 		return
 	}
-	v, err := s.cfg.Index.Insert(rrq.Point(req.Point))
+	v, err := ix.Insert(rrq.Point(req.Point))
 	if err != nil {
 		writeError(w, err, 0)
 		return
@@ -334,17 +395,21 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	ix := s.gate(w)
+	if ix == nil {
+		return
+	}
 	var req deleteRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, err, 0)
 		return
 	}
-	if n := s.cfg.Index.Len(); req.Index < 0 || req.Index >= n {
+	if n := ix.Len(); req.Index < 0 || req.Index >= n {
 		writeError(w, &core.DataError{Point: req.Index, Attr: -1,
 			Msg: fmt.Sprintf("delete index out of range [0,%d)", n)}, 0)
 		return
 	}
-	v, err := s.cfg.Index.Delete(req.Index)
+	v, err := ix.Delete(req.Index)
 	if err != nil {
 		writeError(w, err, 0)
 		return
@@ -367,8 +432,13 @@ type serverStats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ix := s.ix.Load()
+	if ix == nil {
+		s.unavailable(w, "recovering")
+		return
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
-		Index: s.cfg.Index.Stats(),
+		Index: ix.Stats(),
 		Server: serverStats{
 			Policy:     string(s.adm.Policy()),
 			Capacity:   s.adm.Capacity(),
@@ -385,9 +455,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz reports the serving state as plain text: "recovering"
+// while the index is still being rebuilt from checkpoint + WAL,
+// "draining" once shutdown began, "ok" otherwise. Always 200: the states
+// are liveness, not failure.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	switch {
+	case s.draining.Load():
+		fmt.Fprintln(w, "draining")
+	case s.ix.Load() == nil:
+		fmt.Fprintln(w, "recovering")
+	default:
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 // flightGroup coalesces concurrent calls with the same key into one

@@ -528,3 +528,127 @@ func TestFlightGroup(t *testing.T) {
 		t.Fatalf("leader ran %d times", calls)
 	}
 }
+
+// TestRecoveringServerSheds: a Recovering server answers 503 with
+// Retry-After on every v1 endpoint and reports "recovering" on /healthz
+// until Ready publishes the index — then it serves normally.
+func TestRecoveringServerSheds(t *testing.T) {
+	reg := rrq.NewRegistry()
+	s, err := New(Config{Recovering: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, ep := range []struct{ path, body string }{
+		{"/v1/solve", solveBody},
+		{"/v1/insert", `{"point":[0.5,0.5]}`},
+		{"/v1/delete", `{"index":0}`},
+	} {
+		resp, b := postJSON(t, ts.URL+ep.path, ep.body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s while recovering: status %d, want 503", ep.path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s while recovering: no Retry-After header", ep.path)
+		}
+		if er := decodeError(t, b); er.Kind != "recovering" {
+			t.Fatalf("%s while recovering: kind %q, want recovering", ep.path, er.Kind)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stats while recovering: status %d, want 503", resp.StatusCode)
+	}
+	if got := healthz(t, ts.URL); got != "recovering" {
+		t.Fatalf("healthz while recovering: %q", got)
+	}
+	if n := reg.Counter("server.unavailable").Value(); n != 4 {
+		t.Fatalf("server.unavailable = %d, want 4", n)
+	}
+
+	s.Ready(testIndex(t))
+	resp2, b := postJSON(t, ts.URL+"/v1/solve", solveBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("solve after Ready: status %d: %s", resp2.StatusCode, b)
+	}
+	if got := healthz(t, ts.URL); got != "ok" {
+		t.Fatalf("healthz after Ready: %q", got)
+	}
+}
+
+// TestDrainingServerSheds: StartDrain flips every v1 endpoint to 503
+// "draining" while /metrics and /healthz stay reachable for scrapes.
+func TestDrainingServerSheds(t *testing.T) {
+	s, err := New(Config{Index: testIndex(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, b := postJSON(t, ts.URL+"/v1/solve", solveBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve before drain: status %d: %s", resp.StatusCode, b)
+	}
+	s.StartDrain()
+	resp, b := postJSON(t, ts.URL+"/v1/solve", solveBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("solve while draining: status %d, want 503", resp.StatusCode)
+	}
+	if er := decodeError(t, b); er.Kind != "draining" {
+		t.Fatalf("solve while draining: kind %q, want draining", er.Kind)
+	}
+	if got := healthz(t, ts.URL); got != "draining" {
+		t.Fatalf("healthz while draining: %q", got)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics while draining: status %d, want 200", mresp.StatusCode)
+	}
+}
+
+func healthz(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(buf.String())
+}
+
+// TestRetryAfterClamp pins the [1s, 60s] bounds: an empty EWMA answers the
+// floor (never Retry-After: 0), and a pathological solve sample cannot
+// push the estimate past a minute.
+func TestRetryAfterClamp(t *testing.T) {
+	a := NewAdmission(AdmitCap, 1, 0)
+	if got := a.retryAfter(5); got != time.Second {
+		t.Fatalf("cold retryAfter = %v, want 1s", got)
+	}
+	a.observe(50 * time.Millisecond) // first observation seeds the EWMA whole
+	if avg := a.avgSolveNs.Load(); avg != int64(50*time.Millisecond) {
+		t.Fatalf("EWMA after first observation = %d, want full sample", avg)
+	}
+	a.observe(10 * time.Minute) // pathological sample
+	if got := a.retryAfter(1000); got != maxRetryAfter {
+		t.Fatalf("huge retryAfter = %v, want clamp at %v", got, maxRetryAfter)
+	}
+	a2 := NewAdmission(AdmitCap, 4, 0)
+	a2.observe(2 * time.Second)
+	if got := a2.retryAfter(12); got < time.Second || got > maxRetryAfter {
+		t.Fatalf("mid-range retryAfter = %v escaped [1s, 60s]", got)
+	}
+}

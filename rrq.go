@@ -304,6 +304,7 @@ type config struct {
 	cacheSize    int
 	cacheBounds  bool
 	noBatchShare bool
+	indexCompat  bool
 }
 
 // obsContext attaches the configured trace hook and metrics registry to ctx
