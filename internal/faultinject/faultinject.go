@@ -40,7 +40,9 @@ const (
 	// (nil for deletes). Supports Err, Delay and — via ShortWrite — torn
 	// and short writes: the site writes only ShortWrite bytes of the
 	// encoded record before reporting Err, leaving a torn tail exactly as a
-	// crash mid-write would.
+	// crash mid-write would. Because the torn bytes stay on disk for
+	// recovery to repair, the WAL handle fails permanently afterwards —
+	// later appends are rejected, as they would be after a real crash.
 	WALAppend Point = "wal-append"
 	// WALSync fires before a WAL fsync. An Err surfaces as the sync
 	// failure of the append (or background flush) that triggered it.

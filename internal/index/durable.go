@@ -160,13 +160,19 @@ func listCheckpoints(dir string) ([]string, error) {
 	return names, nil
 }
 
-// gcCheckpoints removes all but the newest keep checkpoint files.
-func gcCheckpoints(dir string, keep int) {
+// gcCheckpoints removes all but the newest keep checkpoint files, never
+// touching protect (the checkpoint just written): a rejected-but-newer
+// checkpoint name must not be able to push the live one out of the keep
+// window.
+func gcCheckpoints(dir string, keep int, protect string) {
 	names, err := listCheckpoints(dir)
 	if err != nil || len(names) <= keep {
 		return
 	}
 	for _, n := range names[keep:] {
+		if n == protect {
+			continue
+		}
 		_ = os.Remove(filepath.Join(dir, n))
 	}
 }
@@ -204,11 +210,13 @@ func OpenDurable(o DurableOptions, build func() (*Index, error)) (*Index, *Durab
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("index: durable open: %w", err)
 	}
+	var badNames []string
 	for _, name := range names {
 		path := filepath.Join(o.Dir, name)
 		loaded, lerr := LoadFile(path, o.Compat)
 		if lerr != nil {
 			rec.BadCheckpoints = append(rec.BadCheckpoints, fmt.Sprintf("%s: %v", name, lerr))
+			badNames = append(badNames, name)
 			continue
 		}
 		ix = loaded
@@ -277,7 +285,14 @@ func OpenDurable(o DurableOptions, build func() (*Index, error)) (*Index, *Durab
 		return nil, nil, nil, fmt.Errorf("index: durable open: recovery checkpoint: %w", err)
 	}
 	d.observeCheckpoint()
-	gcCheckpoints(o.Dir, o.KeepCheckpoints)
+	// Rejected checkpoints are deleted outright rather than counted toward
+	// the keep window: their names can sort above the recovery checkpoint
+	// (bit-rotted newest file, or a fresh seed at a low version), and
+	// keeping them would let gc evict the only valid state on disk.
+	for _, n := range badNames {
+		_ = os.Remove(filepath.Join(o.Dir, n))
+	}
+	gcCheckpoints(o.Dir, o.KeepCheckpoints, ckptName(rec.Version))
 	w, err := wal.Open(o.Dir, rec.Version+1, wal.Options{
 		Sync: o.Sync, Interval: o.SyncInterval, Metrics: o.Metrics, Inject: o.Inject,
 	})
@@ -351,7 +366,7 @@ func (d *Durable) checkpointLocked(version uint64) error {
 	} else if _, gerr := d.w.GCThrough(d.ckptHist[0]); gerr != nil {
 		err = gerr
 	}
-	gcCheckpoints(d.o.Dir, d.o.KeepCheckpoints)
+	gcCheckpoints(d.o.Dir, d.o.KeepCheckpoints, ckptName(version))
 	return err
 }
 

@@ -219,6 +219,38 @@ func TestDurableCorruptCheckpointFallsBack(t *testing.T) {
 	}
 }
 
+// TestDurableBadNewerCheckpointsDoNotEvictRecovery: rejected checkpoint
+// files whose names sort above the recovered version (bit-rotted newest
+// file plus a lost WAL tail, or every checkpoint corrupt forcing a fresh
+// seed) must not count toward the GC keep window. Before the fix they
+// could evict the just-written recovery checkpoint while PurgeOthers
+// deleted the WAL — leaving only corrupt files on disk for the next boot.
+func TestDurableBadNewerCheckpointsDoNotEvictRecovery(t *testing.T) {
+	dir := t.TempDir()
+	for _, v := range []uint64{50, 51} {
+		if err := os.WriteFile(filepath.Join(dir, ckptName(v)), []byte("not a checkpoint"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, d, rec := openDurable(t, dir, DurableOptions{Sync: wal.SyncAlways})
+	if !rec.Fresh || len(rec.BadCheckpoints) != 2 {
+		t.Fatalf("recovery %+v, want fresh seed with 2 rejected checkpoints", rec)
+	}
+	names, err := listCheckpoints(dir)
+	if err != nil || len(names) != 1 || names[0] != ckptName(rec.Version) {
+		t.Fatalf("checkpoints after recovery: %v (err %v), want only %s", names, err, ckptName(rec.Version))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The next boot must load the recovery checkpoint, not reject garbage
+	// and re-seed.
+	_, _, rec2 := openDurable(t, dir, DurableOptions{Sync: wal.SyncAlways})
+	if rec2.Fresh || len(rec2.BadCheckpoints) != 0 || rec2.Version != rec.Version {
+		t.Fatalf("second recovery %+v, want clean load of checkpoint version %d", rec2, rec.Version)
+	}
+}
+
 // TestDurableCheckpointRenameFaultKeepsWAL: a checkpoint that dies in its
 // atomicity window must not lose anything — the WAL still covers the full
 // history and the next recovery serves it.

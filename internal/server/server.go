@@ -40,7 +40,7 @@ type Config struct {
 	// publishes the recovered index — this is what lets rrqd listen, and
 	// report health honestly, while it replays its WAL.
 	Index *rrq.Index
-	// Recovering starts the server without an index: /healthz reports
+	// Recovering starts the server without an index: /healthz answers 503
 	// "recovering" and every v1 endpoint sheds with 503 + Retry-After
 	// until Ready is called.
 	Recovering bool
@@ -455,16 +455,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz reports the serving state as plain text: "recovering"
-// while the index is still being rebuilt from checkpoint + WAL,
-// "draining" once shutdown began, "ok" otherwise. Always 200: the states
-// are liveness, not failure.
+// handleHealthz reports the serving state as plain text: 200 "ok" when
+// serving, 503 with "recovering" (index still being rebuilt from
+// checkpoint + WAL) or "draining" (shutdown under way) otherwise. The 503
+// is what makes -drain-grace work: health checkers keyed on status code —
+// the common load-balancer configuration — must see the instance as
+// not-ready during the grace window to deregister it before connections
+// close.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	switch {
 	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
 	case s.ix.Load() == nil:
+		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "recovering")
 	default:
 		fmt.Fprintln(w, "ok")

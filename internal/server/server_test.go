@@ -616,6 +616,9 @@ func TestDrainingServerSheds(t *testing.T) {
 	}
 }
 
+// healthz fetches /healthz and returns its trimmed body, asserting the
+// status code matches the state contract: 200 for "ok", 503 otherwise (so
+// status-keyed load-balancer checks deregister draining instances).
 func healthz(t *testing.T, base string) string {
 	t.Helper()
 	resp, err := http.Get(base + "/healthz")
@@ -627,7 +630,15 @@ func healthz(t *testing.T, base string) string {
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		t.Fatal(err)
 	}
-	return strings.TrimSpace(buf.String())
+	body := strings.TrimSpace(buf.String())
+	want := http.StatusServiceUnavailable
+	if body == "ok" {
+		want = http.StatusOK
+	}
+	if resp.StatusCode != want {
+		t.Fatalf("healthz %q status %d, want %d", body, resp.StatusCode, want)
+	}
+	return body
 }
 
 // TestRetryAfterClamp pins the [1s, 60s] bounds: an empty EWMA answers the

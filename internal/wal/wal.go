@@ -264,7 +264,9 @@ type WAL struct {
 	name    string // active segment file name
 	first   uint64 // first epoch of the active segment
 	records int    // records appended to the active segment
+	off     int64  // bytes of fully appended records in the active segment
 	dirty   bool   // unsynced appends (interval policy)
+	failed  error  // sticky: the segment holds garbage that could not be rolled back
 
 	stopc chan struct{}
 	wg    sync.WaitGroup
@@ -303,6 +305,7 @@ func (w *WAL) openSegment(first uint64) error {
 		return fmt.Errorf("wal: open segment: %w", err)
 	}
 	w.f, w.name, w.first, w.records, w.dirty = f, name, first, 0, false
+	w.off = 0
 	return nil
 }
 
@@ -313,9 +316,14 @@ func (w *WAL) counter(name string, n int64) {
 	}
 }
 
-// Append encodes and writes r, honoring the fsync policy. On any error the
-// active segment may hold a torn tail; the caller must treat the mutation
-// as failed (it was never published) and replay will truncate the tear.
+// Append encodes and writes r, honoring the fsync policy. On error the
+// caller must treat the mutation as failed (it was never published); the
+// rejected record's bytes are rolled back out of the active segment so a
+// later successful append never lands after garbage — and when the segment
+// cannot be restored (rollback failure, or an injected crash-simulating
+// torn write) the log fails permanently: every later Append is rejected,
+// which preserves the rule that an acknowledged record is always preceded
+// only by sound bytes.
 func (w *WAL) Append(r Record) error {
 	buf := Encode(r)
 	w.mu.Lock()
@@ -323,34 +331,61 @@ func (w *WAL) Append(r Record) error {
 	if w.f == nil {
 		return errors.New("wal: append on closed log")
 	}
+	if w.failed != nil {
+		return w.failed
+	}
 	if in := w.o.Inject; in != nil {
 		if f := in.Plan(faultinject.WALAppend, r.Point); f != nil {
 			if f.ShortWrite > 0 && f.ShortWrite < len(buf) {
+				// Crash simulation: the torn tail stays on disk for recovery
+				// to repair, so this handle must never append after it — a
+				// real crash mid-write would not have either.
 				_, _ = w.f.Write(buf[:f.ShortWrite])
-				_ = w.f.Sync() // make the torn tail durable, as a crash mid-write could
+				_ = w.f.Sync()
+				w.failed = fmt.Errorf("wal: log failed: torn tail at offset %d in %s", w.off, w.name)
+				if f.Err != nil {
+					return fmt.Errorf("wal: append: %w", f.Err)
+				}
+				return fmt.Errorf("wal: append: short write (%d of %d bytes)", f.ShortWrite, len(buf))
 			}
 			if f.Err != nil {
 				return fmt.Errorf("wal: append: %w", f.Err)
 			}
-			if f.ShortWrite > 0 && f.ShortWrite < len(buf) {
-				return fmt.Errorf("wal: append: short write (%d of %d bytes)", f.ShortWrite, len(buf))
-			}
 		}
 	}
 	if _, err := w.f.Write(buf); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return w.rollback(fmt.Errorf("wal: append: %w", err))
 	}
-	w.records++
-	w.counter("wal.appends", 1)
-	switch w.o.Sync {
-	case SyncAlways:
+	if w.o.Sync == SyncAlways {
 		if err := w.syncLocked(); err != nil {
-			return err
+			return w.rollback(err)
 		}
-	case SyncInterval:
+	} else if w.o.Sync == SyncInterval {
 		w.dirty = true
 	}
+	w.off += int64(len(buf))
+	w.records++
+	w.counter("wal.appends", 1)
 	return nil
+}
+
+// rollback restores the active segment to the end of the last sound record
+// after a failed append: the rejected record's torn or complete bytes must
+// not remain, or the next successful append would land after them and
+// replay would truncate every acknowledged record behind the tear (or
+// resurrect the rejected one). When the restore itself fails the log is
+// failed permanently so later mutations are rejected rather than logged
+// after garbage. Returns err for the caller to surface. Caller holds w.mu.
+func (w *WAL) rollback(err error) error {
+	if terr := w.f.Truncate(w.off); terr != nil {
+		w.failed = fmt.Errorf("wal: log failed: rejected append not rolled back (%v) after: %v", terr, err)
+		return err
+	}
+	if _, serr := w.f.Seek(w.off, io.SeekStart); serr != nil {
+		w.failed = fmt.Errorf("wal: log failed: seek after rollback (%v) after: %v", serr, err)
+		return err
+	}
+	return err
 }
 
 // Sync flushes the active segment to stable storage regardless of policy.
@@ -414,6 +449,12 @@ func (w *WAL) Rotate(nextEpoch uint64) error {
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return errors.New("wal: rotate on closed log")
+	}
+	if w.failed != nil {
+		// Rotating would strand the unrepaired tail in a closed segment:
+		// replay stops there and drops every later segment, so records
+		// appended after the rotation would be acknowledged yet unsound.
+		return w.failed
 	}
 	if nextEpoch == w.first && w.records == 0 {
 		return nil

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -290,6 +291,69 @@ func TestSyncFault(t *testing.T) {
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSyncFaultRollsBack: a record whose bytes reached the file but whose
+// fsync failed is rolled back out of the segment, so acknowledged appends
+// after the rejection replay cleanly — no resurrection of the rejected
+// record, no truncation of the acknowledged tail behind it.
+func TestSyncFaultRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("sync exploded")
+	in := faultinject.New(&faultinject.Fault{Point: faultinject.WALSync, Err: boom, Times: 1})
+	w, err := Open(dir, 2, Options{Sync: SyncAlways, Inject: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords()
+	if err := w.Append(recs[0]); !errors.Is(err, boom) {
+		t.Fatalf("append under sync fault = %v, want %v", err, boom)
+	}
+	// Retry the same epoch (the mutation was rejected, so its successor
+	// reuses it) and keep appending: every record below is acknowledged.
+	mustAppend(t, w, recs...)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, info := collect(t, dir, Options{})
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replayed records differ:\n got %+v\nwant %+v", got, recs)
+	}
+	if info.Truncated != nil {
+		t.Fatalf("log of only acknowledged records was truncated: %+v", info.Truncated)
+	}
+}
+
+// TestTornTailFailsLogPermanently: after an injected crash-simulating torn
+// write the torn bytes stay on disk for recovery to repair, so the handle
+// must reject every later append and rotation — otherwise acknowledged
+// records would land behind a tear that replay truncates.
+func TestTornTailFailsLogPermanently(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("power cut")
+	in := faultinject.New(&faultinject.Fault{
+		Point: faultinject.WALAppend, ShortWrite: 5, Err: boom, Times: 1,
+	})
+	w, err := Open(dir, 2, Options{Sync: SyncAlways, Inject: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords()
+	if err := w.Append(recs[0]); !errors.Is(err, boom) {
+		t.Fatalf("faulted append error = %v, want %v", err, boom)
+	}
+	if err := w.Append(recs[1]); err == nil || !strings.Contains(err.Error(), "log failed") {
+		t.Fatalf("append after torn tail = %v, want permanent log failure", err)
+	}
+	if err := w.Rotate(10); err == nil || !strings.Contains(err.Error(), "log failed") {
+		t.Fatalf("rotate after torn tail = %v, want permanent log failure", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, info := collect(t, dir, Options{}); len(got) != 0 || info.Truncated == nil {
+		t.Fatalf("replay: %d records, truncation %+v — want empty log repaired at the tear", len(got), info.Truncated)
 	}
 }
 
