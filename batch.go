@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rrq/internal/core"
+	"rrq/internal/geom"
 	"rrq/internal/obs"
 )
 
@@ -56,10 +57,14 @@ func Prepare(d *Dataset, opts ...Option) (*Prepared, error) {
 // fallback chain (Result.Degraded then records why). On error the Result
 // still carries the partial Stats and elapsed time of the failed attempts.
 func (p *Prepared) Solve(ctx context.Context, q Query) (Result, error) {
+	if p.cfg.anytimeActive() {
+		return p.solveAnytime(ctx, q, nil, "")
+	}
 	cq := q.toCore()
 	start := time.Now()
 	r, st, deg, err := p.pol.Solve(p.cfg.obsContext(ctx), p.prep, cq, -1)
 	res := Result{Stats: st, Elapsed: time.Since(start), Degraded: deg}
+	res.Tier = tierFor(p.cfg, p.dim, deg)
 	if reg := p.cfg.metrics; reg != nil {
 		reg.Counter("rrq.solves").Inc()
 		if err != nil {
@@ -70,6 +75,64 @@ func (p *Prepared) Solve(ctx context.Context, q Query) (Result, error) {
 		return res, err
 	}
 	res.Region = &Region{inner: r, q: cq}
+	return res, nil
+}
+
+// tierFor classifies a non-anytime answer: TierApprox when A-PC produced
+// the region (configured primary, or the fallback that answered a degraded
+// query), TierExact otherwise.
+func tierFor(cfg config, dim int, deg *core.Degradation) SolverTier {
+	if deg != nil {
+		if deg.Solver == (core.APCSolver{}).Name() {
+			return TierApprox
+		}
+		return TierExact
+	}
+	if resolvedAlgo(cfg, dim) == APCAlgo {
+		return TierApprox
+	}
+	return TierExact
+}
+
+// anytimeOptions maps the public configuration onto the core anytime
+// construction: the A-PC sample/seed knobs carry over, the anytime knobs
+// become the cut budgets, and warm holds the partitions of a previously
+// served inner bound to resume from.
+func anytimeOptions(cfg config, warm []*geom.Cell) core.AnytimeOptions {
+	return core.AnytimeOptions{
+		Samples:    cfg.samples,
+		Seed:       cfg.seed,
+		MaxSamples: cfg.anytimeSamples,
+		Budget:     cfg.anytimeBudget,
+		Warm:       warm,
+	}
+}
+
+// solveAnytime answers one query on the anytime tier: the resumable
+// progressive A-PC construction, cut by the configured budget(s). warm
+// seeds the construction with the partitions of a previously served inner
+// bound (the cells are appended verbatim, so the result region contains
+// the seed); warmName, when non-empty, names the metrics counter bumped
+// for the warm start.
+func (p *Prepared) solveAnytime(ctx context.Context, q Query, warm []*geom.Cell, warmName string) (Result, error) {
+	cq := q.toCore()
+	start := time.Now()
+	r, st, acc, err := core.APCAnytimeContext(p.cfg.obsContext(ctx), p.prep.PointsFor(cq.K), cq, anytimeOptions(p.cfg, warm))
+	res := Result{Stats: st, Elapsed: time.Since(start), Tier: TierAnytime}
+	if reg := p.cfg.metrics; reg != nil {
+		reg.Counter("rrq.solves").Inc()
+		if err != nil {
+			reg.Counter("rrq.solve_errors").Inc()
+		}
+		if warm != nil && warmName != "" {
+			reg.Counter(warmName).Inc()
+		}
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Region = &Region{inner: r, q: cq}
+	res.Accuracy = &acc
 	return res, nil
 }
 
@@ -135,6 +198,29 @@ type BatchReport struct {
 // so the report's Phases covers exactly this batch, then merged into the
 // user's registry along with the rrq.solves / rrq.solve_errors counters.
 func (p *Prepared) SolveBatch(ctx context.Context, queries []Query) *BatchReport {
+	if p.cfg.anytimeActive() {
+		// The anytime tier has no sharing substrate: cross-query sharing
+		// (and dedup) reproduces full solves, while an anytime cut's region
+		// depends on the budget each individual solve was granted. Answer
+		// each query independently (solveAnytime attaches trace and metrics
+		// itself; phase timings land in the user's registry, so Phases stays
+		// nil here).
+		rep := &BatchReport{Results: make([]BatchResult, len(queries))}
+		start := time.Now()
+		for i, q := range queries {
+			res, err := p.solveAnytime(ctx, q, nil, "")
+			rep.Results[i] = BatchResult{Result: res, Err: err}
+			rep.QueryTime += res.Elapsed
+			if err == nil {
+				rep.Solved++
+				rep.Agg.Add(res.Stats)
+			} else {
+				rep.Failed++
+			}
+		}
+		rep.Elapsed = time.Since(start)
+		return rep
+	}
 	if p.cfg.trace != nil {
 		ctx = obs.ContextWithTrace(ctx, p.cfg.trace)
 	}
@@ -163,6 +249,7 @@ func (p *Prepared) SolveBatch(ctx context.Context, queries []Query) *BatchReport
 		br.Stats = o.Stats
 		br.Elapsed = o.Elapsed
 		br.Degraded = o.Degraded
+		br.Tier = tierFor(p.cfg, p.dim, o.Degraded)
 		rep.QueryTime += o.Elapsed
 		if o.Dedup {
 			rep.Deduped++

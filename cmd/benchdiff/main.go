@@ -34,6 +34,29 @@ type row struct {
 	AllocsPerQ int64  `json:"allocs_per_query"`
 }
 
+// anytimeRow mirrors the anytimeBenchResult fields benchdiff gates on. The
+// volume-error columns come from a fixed-seed paired Monte-Carlo measurement,
+// so they are machine-independent and gated directly:
+//
+//   - the curve must exist (a silently dropped anytime suite must not pass);
+//   - volume_error_max must stay within error_bound (+slack): the accuracy
+//     contract the anytime tier advertises via ρ;
+//   - volume_error_mean must not be meaningfully negative, which would mean
+//     an anytime region covering space the exact region does not — an
+//     unsoundness, not a perf regression;
+//   - along each curve (ascending budget) volume_error_max and error_bound
+//     must be non-increasing, and the final rung must run uncut — the
+//     monotone anytime contract.
+type anytimeRow struct {
+	Name       string  `json:"name"`
+	Curve      string  `json:"curve"`
+	Budget     int     `json:"budget"`
+	Cut        bool    `json:"cut"`
+	ErrorBound float64 `json:"error_bound"`
+	VolErrMean float64 `json:"volume_error_mean"`
+	VolErrMax  float64 `json:"volume_error_max"`
+}
+
 // matrixRow mirrors the cpuMatrixRow fields benchdiff gates on.
 type matrixRow struct {
 	Name       string `json:"name"`
@@ -45,10 +68,11 @@ type matrixRow struct {
 
 // report is the subset of the BENCH_solve.json document benchdiff reads.
 type report struct {
-	GoVersion  string      `json:"go_version"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Results    []row       `json:"results"`
-	CPUMatrix  []matrixRow `json:"cpu_matrix"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Results    []row        `json:"results"`
+	CPUMatrix  []matrixRow  `json:"cpu_matrix"`
+	Anytime    []anytimeRow `json:"anytime_results"`
 }
 
 type matrixKey struct {
@@ -78,6 +102,7 @@ func main() {
 		sharedNsTol  = flag.Float64("shared-ns-tol", 0.90, "cpu matrix: shared ns/query must be ≤ independent × this (shared must win)")
 		sharedAlTol  = flag.Float64("shared-allocs-tol", 0.90, "cpu matrix: shared allocs/query must be ≤ independent × this")
 		ratioTol     = flag.Float64("ratio-tol", 1.5, "max allowed growth of the shared/independent ns ratio vs the baseline's ratio")
+		anytimeSlack = flag.Float64("anytime-slack", 0.02, "Monte-Carlo slack added to the anytime error bound (and allowed below zero) before a volume-error row fails")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -171,6 +196,56 @@ func main() {
 				failf("matrix %-14s cpus=%d shared/independent ns ratio %.3f regressed past baseline %.3f × %.2f",
 					k.name, k.cpus, curRatio, baseRatio, *ratioTol)
 			}
+		}
+	}
+
+	// Anytime accuracy curve: presence, the ρ-backed error bound, soundness
+	// of the paired measurement, and monotonicity along each budget ladder.
+	if len(cur.Anytime) == 0 {
+		failf("anytime_results missing or empty in current report")
+	}
+	curAnytime := make(map[string]anytimeRow, len(cur.Anytime))
+	for _, r := range cur.Anytime {
+		curAnytime[r.Name] = r
+	}
+	for _, b := range base.Anytime {
+		if _, ok := curAnytime[b.Name]; !ok {
+			failf("anytime %-16s missing from current report", b.Name)
+		}
+	}
+	curves := map[string][]anytimeRow{}
+	for _, r := range cur.Anytime {
+		checked++
+		if r.VolErrMax > r.ErrorBound+*anytimeSlack {
+			failf("anytime %-16s volume_error_max %.4f exceeds error_bound %.4f + %.3f slack",
+				r.Name, r.VolErrMax, r.ErrorBound, *anytimeSlack)
+		}
+		if r.VolErrMean < -*anytimeSlack {
+			failf("anytime %-16s volume_error_mean %.4f is negative: anytime region exceeds the exact region",
+				r.Name, r.VolErrMean)
+		}
+		curves[r.Curve] = append(curves[r.Curve], r)
+	}
+	for name, rows := range curves {
+		// Rows arrive in ladder order (ascending budget); verify rather than
+		// assume, then hold the curve to the monotone anytime contract.
+		for i := 1; i < len(rows); i++ {
+			checked++
+			if rows[i].Budget <= rows[i-1].Budget {
+				failf("anytime curve %-10s budgets not ascending: %d after %d", name, rows[i].Budget, rows[i-1].Budget)
+				continue
+			}
+			if rows[i].VolErrMax > rows[i-1].VolErrMax {
+				failf("anytime curve %-10s volume_error_max grew from %.4f (budget %d) to %.4f (budget %d)",
+					name, rows[i-1].VolErrMax, rows[i-1].Budget, rows[i].VolErrMax, rows[i].Budget)
+			}
+			if rows[i].ErrorBound > rows[i-1].ErrorBound {
+				failf("anytime curve %-10s error_bound grew from %.4f (budget %d) to %.4f (budget %d)",
+					name, rows[i-1].ErrorBound, rows[i-1].Budget, rows[i].ErrorBound, rows[i].Budget)
+			}
+		}
+		if last := rows[len(rows)-1]; last.Cut {
+			failf("anytime curve %-10s final rung (budget %d) was cut — the ladder never ran to completion", name, last.Budget)
 		}
 	}
 

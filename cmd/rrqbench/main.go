@@ -236,15 +236,16 @@ type cpuMatrixRow struct {
 
 // benchReport is the top-level BENCH_solve.json document.
 type benchReport struct {
-	GoVersion  string             `json:"go_version"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	NumCPU     int                `json:"num_cpu"`
-	Full       bool               `json:"full"`
-	Seed       int64              `json:"seed"`
-	Results    []benchResult      `json:"results"`
-	CPUMatrix  []cpuMatrixRow     `json:"cpu_matrix,omitempty"`
-	Index      []indexBenchResult `json:"index_results"`
-	Sim        []simBenchResult   `json:"sim_results"`
+	GoVersion  string               `json:"go_version"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	NumCPU     int                  `json:"num_cpu"`
+	Full       bool                 `json:"full"`
+	Seed       int64                `json:"seed"`
+	Results    []benchResult        `json:"results"`
+	CPUMatrix  []cpuMatrixRow       `json:"cpu_matrix,omitempty"`
+	Index      []indexBenchResult   `json:"index_results"`
+	Sim        []simBenchResult     `json:"sim_results"`
+	Anytime    []anytimeBenchResult `json:"anytime_results"`
 }
 
 // parseCPUList parses the -cpus flag ("1,2,4,8") into sorted-unique-free
@@ -339,6 +340,34 @@ type simBenchResult struct {
 	sim.Report
 }
 
+// anytimeBenchResult is one point of the volume-error-vs-latency curve: the
+// anytime tier cut at a fixed sample budget, compared against the exact
+// region for the same queries. Volume error is measured with a fixed-seed
+// Monte-Carlo estimate shared between the exact and anytime regions, so the
+// per-point membership comparison is paired: the anytime region is a subset
+// of the exact one, which makes volume_error_* deterministic for a given
+// seed, non-negative, and non-increasing along the budget ladder — the
+// machine-independent signals benchdiff gates on. ns/query is informational.
+type anytimeBenchResult struct {
+	Name        string  `json:"name"`
+	Curve       string  `json:"curve"` // groups the rows of one budget ladder
+	N           int     `json:"n"`
+	D           int     `json:"d"`
+	K           int     `json:"k"`
+	Eps         float64 `json:"eps"`
+	Queries     int     `json:"queries"`
+	Samples     int     `json:"samples"`      // full sample stream length
+	Budget      int     `json:"budget"`       // sample budget the construction was cut at
+	SamplesUsed int     `json:"samples_used"` // max over queries
+	Cut         bool    `json:"cut"`
+	NsPerQuery  int64   `json:"ns_per_query"`
+	PiecesAvg   float64 `json:"pieces_avg"`
+	RhoBound    float64 `json:"rho_bound"`   // Lemma 5.10 ρ, max over queries
+	ErrorBound  float64 `json:"error_bound"` // the bound benchdiff holds volume_error_max to
+	VolErrMean  float64 `json:"volume_error_mean"`
+	VolErrMax   float64 `json:"volume_error_max"`
+}
+
 // simSuite returns the serving scenario matrix over one shared workload:
 // closed-loop throughput rows with and without the cache (the no-cache rows
 // are the baseline the warm-cache qps is read against), then the same
@@ -413,6 +442,96 @@ func runSimScenarios(full bool, seed int64) ([]simBenchResult, error) {
 			Arrival: sc.Arrival, Capacity: sc.Capacity, Queue: sc.Queue,
 			Report: rep,
 		})
+	}
+	return out, nil
+}
+
+// runAnytimeScenarios traces the anytime tier's accuracy/latency trade-off:
+// one 4-d workload solved exactly (the reference), then re-solved with the
+// progressive A-PC construction cut at an ascending ladder of sample budgets.
+// All regions — exact and anytime — are measured with the same fixed-seed
+// Monte-Carlo sample set, so each anytime region (a subset of the exact one)
+// loses exactly the sample points it fails to cover and the error columns are
+// reproducible across machines.
+func runAnytimeScenarios(full bool, seed int64) ([]anytimeBenchResult, error) {
+	mul := 1
+	if full {
+		mul = 4
+	}
+	const (
+		curve    = "anytime-5d"
+		d        = 5
+		k        = 3
+		eps      = 0.05
+		samples  = 32 // full anytime sample stream; budgets below cut it
+		measSeed = 0xA11B2
+		measN    = 4000
+		minVol   = 0.02 // queries below this exact volume show no curve
+	)
+	n := 400 * mul
+	want := 4 * mul
+	ds := rrq.SyntheticDataset(rrq.Anticorrelated, n, d, seed)
+	ctx := context.Background()
+	// Random preferences mostly hit near-empty regions; keep only candidates
+	// whose exact region has measurable volume, so the budget ladder traces a
+	// real error curve instead of 0 − 0 at every cut. The filter is a pure
+	// function of the seed, so the kept query set is reproducible.
+	var queries []rrq.Query
+	var exact []float64
+	for cand := 0; cand < 16*want && len(queries) < want; cand++ {
+		q := rrq.Query{Q: ds.RandomQuery(seed + 100 + int64(cand)), K: k, Epsilon: eps}
+		res, err := rrq.SolveContext(ctx, ds, q, rrq.WithAlgorithm(rrq.EPTAlgo), rrq.WithSeed(seed))
+		if err != nil {
+			return nil, fmt.Errorf("%s exact reference candidate %d: %w", curve, cand, err)
+		}
+		if v := res.Region.MeasureWithSeed(measSeed, measN); v >= minVol {
+			queries = append(queries, q)
+			exact = append(exact, v)
+		}
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("%s: no candidate query reached exact volume %v", curve, minVol)
+	}
+	qn := len(queries)
+	var out []anytimeBenchResult
+	for _, budget := range []int{2, 4, 8, 16, samples} {
+		row := anytimeBenchResult{
+			Name: fmt.Sprintf("%s-s%02d", curve, budget), Curve: curve,
+			N: n, D: d, K: k, Eps: eps, Queries: qn,
+			Samples: samples, Budget: budget,
+		}
+		var elapsed time.Duration
+		var pieces int
+		for i, q := range queries {
+			res, err := rrq.SolveContext(ctx, ds, q,
+				rrq.WithAnytimeSamples(budget), rrq.WithSamples(samples), rrq.WithSeed(seed))
+			if err != nil {
+				return nil, fmt.Errorf("%s query %d: %w", row.Name, i, err)
+			}
+			if res.Tier != rrq.TierAnytime || res.Accuracy == nil {
+				return nil, fmt.Errorf("%s query %d: tier %v accuracy %v, want anytime with accuracy", row.Name, i, res.Tier, res.Accuracy)
+			}
+			e := exact[i] - res.Region.MeasureWithSeed(measSeed, measN)
+			row.VolErrMean += e
+			if e > row.VolErrMax {
+				row.VolErrMax = e
+			}
+			acc := res.Accuracy
+			if acc.SamplesUsed > row.SamplesUsed {
+				row.SamplesUsed = acc.SamplesUsed
+			}
+			if acc.RhoBound > row.RhoBound {
+				row.RhoBound = acc.RhoBound
+			}
+			row.Cut = acc.Cut
+			elapsed += res.Elapsed
+			pieces += res.Region.NumPartitions()
+		}
+		row.VolErrMean /= float64(qn)
+		row.ErrorBound = row.RhoBound
+		row.NsPerQuery = elapsed.Nanoseconds() / int64(qn)
+		row.PiecesAvg = float64(pieces) / float64(qn)
+		out = append(out, row)
 	}
 	return out, nil
 }
@@ -576,6 +695,17 @@ func runBenchJSON(path string, full bool, seed int64, cpus []int) error {
 			time.Duration(s.P50Ns).Round(time.Microsecond),
 			time.Duration(s.P99Ns).Round(time.Microsecond),
 			100*s.ShedRate, s.CacheHits, s.CacheBounds, s.QPS)
+	}
+	anytime, err := runAnytimeScenarios(full, seed)
+	if err != nil {
+		return err
+	}
+	rep.Anytime = anytime
+	for _, a := range anytime {
+		fmt.Printf("%-16s budget=%-3d used=%-3d cut=%-5v %v/query  vol-err mean %.4f max %.4f (ρ bound %.3f)\n",
+			a.Name, a.Budget, a.SamplesUsed, a.Cut,
+			time.Duration(a.NsPerQuery).Round(time.Microsecond),
+			a.VolErrMean, a.VolErrMax, a.RhoBound)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -72,6 +72,7 @@ func main() {
 		drainT     = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain limit before in-flight requests are force-closed")
 		drainG     = flag.Duration("drain-grace", 0, "after SIGTERM, keep the listener open this long answering 503 so load balancers observe the drain before connections close")
 		solveDelay = flag.Duration("debug-solve-delay", 0, "artificial per-solve delay (shutdown/drain testing only)")
+		anytime    = flag.Duration("anytime", 0, "degrade saturated requests to the anytime tier under this per-solve budget instead of shedding (0 = shed)")
 	)
 	flag.Parse()
 
@@ -130,10 +131,11 @@ func main() {
 		*capacity = runtime.GOMAXPROCS(0)
 	}
 	cfg := server.Config{
-		Index:      ix,
-		Recovering: durable,
-		Metrics:    reg,
-		Admission:  server.NewAdmission(policy, *capacity, *queueLen),
+		Index:         ix,
+		Recovering:    durable,
+		Metrics:       reg,
+		Admission:     server.NewAdmission(policy, *capacity, *queueLen),
+		AnytimeBudget: *anytime,
 	}
 	if *tenantRate > 0 && *tenantBurst > 0 {
 		cfg.Tenants = server.NewTenantBudgets(*tenantRate, *tenantBurst)

@@ -47,6 +47,7 @@ func main() {
 		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant refill rate in work units/second (0 = no metering)")
 		tenantBurst = flag.Float64("tenant-burst", 0, "per-tenant budget burst in work units")
 		tenants     = flag.Int("tenants", 4, "synthetic tenant count when metering is on")
+		anytime     = flag.Duration("anytime", 0, "degrade shed requests to the anytime tier under this per-solve budget (0 = shed)")
 		compare     = flag.Bool("compare", false, "run the full policy × cache matrix instead of one scenario")
 		jsonPath    = flag.String("json", "", `write reports as JSON to this path ("-" = stdout)`)
 	)
@@ -98,12 +99,13 @@ func main() {
 		ix, err := rrq.BuildIndex(ds, opts...)
 		fatal(err)
 		cfg := sim.Config{
-			Index:       ix,
-			Admission:   server.NewAdmission(sc.Policy, *capacity, *queueLen),
-			Queries:     stream,
-			Clients:     *clients,
-			ArrivalRate: *arrival,
-			ArrivalSeed: *seed,
+			Index:         ix,
+			Admission:     server.NewAdmission(sc.Policy, *capacity, *queueLen),
+			Queries:       stream,
+			Clients:       *clients,
+			ArrivalRate:   *arrival,
+			ArrivalSeed:   *seed,
+			AnytimeBudget: *anytime,
 		}
 		if *tenantRate > 0 && *tenantBurst > 0 {
 			cfg.Tenants = server.NewTenantBudgets(*tenantRate, *tenantBurst)

@@ -16,6 +16,7 @@ import (
 
 	"rrq/internal/cache"
 	"rrq/internal/core"
+	"rrq/internal/geom"
 	"rrq/internal/index"
 	"rrq/internal/vec"
 )
@@ -256,12 +257,15 @@ func (ix *Index) SolveContext(ctx context.Context, q Query, opts ...Option) (Res
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.treeServe {
+	if cfg.treeServe && !cfg.anytimeActive() {
 		if res, ok, err := ix.treeSolve(ctx, cfg, q); ok {
 			return res, err
 		}
 	}
 	snap := ix.inner.Snapshot()
+	if cfg.anytimeActive() {
+		return ix.anytimeSolve(ctx, cfg, snap, q)
+	}
 	if ix.cache != nil {
 		return ix.cachedSolve(ctx, cfg, snap, q)
 	}
@@ -339,6 +343,70 @@ func (ix *Index) cachedSolve(ctx context.Context, cfg config, snap *index.Snapsh
 	if cacheable && res.Degraded == nil && res.Region != nil {
 		res.Cache = CacheMiss
 		ix.cache.Put(version, algo.String(), cq, res.Region.inner)
+	}
+	return res, nil
+}
+
+// anytimeSolve serves q on the anytime tier, pinned to one snapshot. The
+// result cache participates both ways: a cached answer on the same query
+// point seeds the construction — an exact entry for the identical (k, ε)
+// short-circuits the solve entirely (the true answer beats any cut), and
+// an inner-bound entry's partitions warm-start it (the served region then
+// contains the seed, so repeated anytime queries ratchet toward the full
+// answer; CacheSource names the seed and "cache.warm_start" counts it) —
+// and the cut's region is stored back as an inner-bound entry, never
+// served as an exact hit (see cache.PutInner). Warm seeding needs only a
+// configured cache, not WithCacheBounds: a bound-derived seed changes how
+// fast the construction covers the region, never the soundness of what it
+// returns.
+func (ix *Index) anytimeSolve(ctx context.Context, cfg config, snap *index.Snapshot, q Query) (Result, error) {
+	cq := q.toCore()
+	// Validate before any lookup — same precedence as cachedSolve.
+	if err := cq.Validate(ix.dim); err != nil {
+		return Result{}, err
+	}
+	version := snap.Version()
+	var warm []*geom.Cell
+	var warmSrc *Query
+	if ix.cache != nil {
+		start := time.Now()
+		if ans := ix.cache.Bound(version, cq); ans != nil {
+			switch ans.Kind {
+			case cache.Exact:
+				// An exact artifact for this very (k, ε): the true answer,
+				// already paid for. Serving it dominates every anytime cut.
+				return ix.cacheServe(cfg, "cache.hit", Result{
+					Region:  &Region{inner: ans.Region, q: cq},
+					Stats:   Stats{Pieces: ans.Region.NumPieces()},
+					Elapsed: time.Since(start),
+					Cache:   CacheHit,
+					Tier:    TierExact,
+				}), nil
+			case cache.Inner:
+				// Sound seed: the cached region is contained in this query's
+				// true region, so its partitions enter the construction as-is.
+				// 2-d interval-backed regions carry no cells — skip those.
+				if cells := ans.Region.Cells(); len(cells) > 0 {
+					warm = cells
+					src := Query{Q: Point(ans.From.Q), K: ans.From.K, Epsilon: ans.From.Eps}
+					warmSrc = &src
+				}
+			}
+			// An outer bound cannot seed an inner construction.
+		}
+	}
+	p, err := ix.preparedOn(snap, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := p.solveAnytime(ctx, q, warm, "cache.warm_start")
+	if err != nil {
+		return res, err
+	}
+	res.CacheSource = warmSrc
+	if ix.cache != nil {
+		res.Cache = CacheMiss
+		ix.cache.PutInner(version, "anytime", cq, res.Region.inner)
 	}
 	return res, nil
 }

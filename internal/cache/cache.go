@@ -78,6 +78,36 @@ type entry struct {
 	q        core.Query
 	region   *core.Region
 	lruEntry *list.Element
+	// inexact marks an entry whose region is a sound subset of — not equal
+	// to — its key's true region (an anytime answer stored by PutInner).
+	// Inexact entries only ever serve as Inner bounds: a subset of
+	// R(k', ε') is still inside R(k, ε) for k' ≤ k, ε' ≤ ε, but it can
+	// answer neither an Exact nor an Outer lookup.
+	inexact bool
+	// measure memoizes the seeded volume estimate used as the tightness
+	// proxy when two bound candidates are incomparable under the (k, ε)
+	// partial order. Guarded by Cache.mu.
+	measure  float64
+	measured bool
+}
+
+// proxySeed and proxySamples parameterize the tightness-proxy estimate.
+// The seed is fixed so repeated lookups agree; 256 samples are enough to
+// order regions whose volumes differ meaningfully, and ties fall back to
+// keeping the incumbent.
+const (
+	proxySeed    = 0x5EED
+	proxySamples = 256
+)
+
+// measureLocked returns the entry's memoized seeded volume. Callers hold
+// c.mu.
+func (e *entry) measureLocked() float64 {
+	if !e.measured {
+		e.measure = e.region.MeasureWithSeed(proxySeed, proxySamples)
+		e.measured = true
+	}
+	return e.measure
 }
 
 // Cache is a bounded LRU result cache. The zero value is not usable; call
@@ -132,7 +162,9 @@ func (c *Cache) Get(version uint64, path string, q core.Query) (*core.Region, bo
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.exact[key]
-	if !ok {
+	if !ok || e.inexact {
+		// An inexact entry bounds its key's answer without equalling it, so
+		// it can never satisfy the byte-identical exact-hit contract.
 		c.misses.Add(1)
 		return nil, false
 	}
@@ -143,19 +175,38 @@ func (c *Cache) Get(version uint64, path string, q core.Query) (*core.Region, bo
 
 // Put stores the region solved for (version, path, q). Only exact,
 // deterministic artifacts belong here: the serving layer must not Put
-// approximate (A-PC) or degraded results, since bound lookups assume every
-// entry is the true region of its key.
+// approximate (A-PC) or degraded results, since exact lookups and outer
+// bounds assume the entry is the true region of its key — store those
+// through PutInner, which marks the entry as a sound inner bound.
 func (c *Cache) Put(version uint64, path string, q core.Query, region *core.Region) {
+	c.put(version, path, q, region, false)
+}
+
+// PutInner stores a region that is a sound inner bound of (version, q)'s
+// true answer — an anytime A-PC result, whose every partition is qualified
+// (Lemma 5.7) but which may under-cover. The entry never answers an exact
+// Get (the path keeps it out of the exact solvers' key space) and Bound
+// serves it only in the Inner direction; a later anytime solve of the same
+// point uses it as a warm start. Storing a better (larger) region under the
+// same key replaces the old one, so repeated anytime solves ratchet the
+// cached bound upward.
+func (c *Cache) PutInner(version uint64, path string, q core.Query, region *core.Region) {
+	c.put(version, path, q, region, true)
+}
+
+func (c *Cache) put(version uint64, path string, q core.Query, region *core.Region, inexact bool) {
 	key := fullKey(version, path, q)
 	bucket := versionKey(version, q.PointKey())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.exact[key]; ok {
 		e.region = region
+		e.inexact = inexact
+		e.measured = false
 		c.lru.MoveToFront(e.lruEntry)
 		return
 	}
-	e := &entry{fullKey: key, bucket: bucket, q: q, region: region}
+	e := &entry{fullKey: key, bucket: bucket, q: q, region: region, inexact: inexact}
 	e.lruEntry = c.lru.PushFront(e)
 	c.exact[key] = e
 	members, ok := c.buckets[bucket]
@@ -172,10 +223,20 @@ func (c *Cache) Put(version uint64, path string, q core.Query, region *core.Regi
 // Bound returns the best available monotonicity bound for (version, q)
 // among entries cached for the same query point: inner from the tightest
 // neighbor with k' ≤ k and ε' ≤ ε, outer from the tightest neighbor with
-// k' ≥ k and ε' ≥ ε. An entry matching (k, ε) exactly is returned as an
-// Exact answer regardless of its serving path. Nil when no applicable
-// neighbor is cached; a served bound counts as a bound hit and refreshes
-// the source entry's recency.
+// k' ≥ k and ε' ≥ ε. An exact entry matching (k, ε) is returned as an Exact
+// answer regardless of its serving path; inexact (anytime) entries serve in
+// the Inner direction only. Nil when no applicable neighbor is cached; a
+// served bound counts as a bound hit and refreshes the source entry's
+// recency.
+//
+// "Tightest" is decided by dominance first: among inner candidates, one
+// whose (k', ε') dominates another's componentwise can only have the larger
+// region, so it wins without measuring anything. The (k, ε) partial order
+// admits incomparable candidates, though — e.g. (k=3, ε=0.1) vs
+// (k=2, ε=0.2) — for which no a-priori ordering exists (either region can
+// be the larger); those ties break on a memoized seeded-measure proxy of
+// the stored regions themselves. A lexicographic (k, then ε) pick — the
+// historical behavior — could prefer a strictly looser bound.
 func (c *Cache) Bound(version uint64, q core.Query) *Answer {
 	bucket := versionKey(version, q.PointKey())
 	c.mu.Lock()
@@ -183,23 +244,16 @@ func (c *Cache) Bound(version uint64, q core.Query) *Answer {
 	var inner, outer *entry
 	for e := range c.buckets[bucket] {
 		eq := e.q
-		if eq.K == q.K && eq.Eps == q.Eps {
+		if !e.inexact && eq.K == q.K && eq.Eps == q.Eps {
 			c.lru.MoveToFront(e.lruEntry)
 			c.hits.Add(1)
 			return &Answer{Region: e.region, Kind: Exact, From: eq}
 		}
 		if eq.K <= q.K && eq.Eps <= q.Eps {
-			// Tightest inner bound: the largest cached region still inside
-			// the true one, i.e. maximal (k', ε') under the partial order.
-			if inner == nil || eq.K > inner.q.K || (eq.K == inner.q.K && eq.Eps > inner.q.Eps) {
-				inner = e
-			}
+			inner = c.betterInner(e, inner)
 		}
-		if eq.K >= q.K && eq.Eps >= q.Eps {
-			// Tightest outer bound: minimal (k', ε').
-			if outer == nil || eq.K < outer.q.K || (eq.K == outer.q.K && eq.Eps < outer.q.Eps) {
-				outer = e
-			}
+		if !e.inexact && eq.K >= q.K && eq.Eps >= q.Eps {
+			outer = c.betterOuter(e, outer)
 		}
 	}
 	pick := inner
@@ -213,6 +267,50 @@ func (c *Cache) Bound(version uint64, q core.Query) *Answer {
 	c.lru.MoveToFront(pick.lruEntry)
 	c.boundHits.Add(1)
 	return &Answer{Region: pick.region, Kind: kind, From: pick.q}
+}
+
+// betterInner picks the tighter of two inner-bound candidates (best may be
+// nil): dominance on (k, ε) when both entries are exact — a dominating
+// neighbor's region is a superset by the monotonicity invariant —
+// otherwise the larger stored region by the seeded-measure proxy. Inexact
+// entries always compare by measure: their region can be far smaller than
+// their (k, ε) advertises, so dominance says nothing about them.
+func (c *Cache) betterInner(e, best *entry) *entry {
+	if best == nil {
+		return e
+	}
+	if !e.inexact && !best.inexact {
+		if e.q.K >= best.q.K && e.q.Eps >= best.q.Eps {
+			return e
+		}
+		if best.q.K >= e.q.K && best.q.Eps >= e.q.Eps {
+			return best
+		}
+	}
+	if e.measureLocked() > best.measureLocked() {
+		return e
+	}
+	return best
+}
+
+// betterOuter picks the tighter of two outer-bound candidates: dominance —
+// the dominated (k, ε) has the smaller, hence tighter, superset region —
+// then the smaller stored region by the proxy for incomparable pairs.
+// Inexact entries never reach here (they cannot bound from outside).
+func (c *Cache) betterOuter(e, best *entry) *entry {
+	if best == nil {
+		return e
+	}
+	if e.q.K <= best.q.K && e.q.Eps <= best.q.Eps {
+		return e
+	}
+	if best.q.K <= e.q.K && best.q.Eps <= e.q.Eps {
+		return best
+	}
+	if e.measureLocked() < best.measureLocked() {
+		return e
+	}
+	return best
 }
 
 // Prune discards every entry not belonging to version — called after a

@@ -112,6 +112,161 @@ func TestIncomparableNeighborServesNothing(t *testing.T) {
 	}
 }
 
+// Regression for the lexicographic tightest-neighbor pick: (k=3, ε=0.1)
+// and (k=2, ε=0.2) are incomparable under the (k, ε) partial order, so
+// neither region is a-priori larger — picking by (k, then ε) preferred
+// (3, 0.1) even when its cached region was strictly smaller. Dominance
+// cannot decide, so the measure proxy must: the larger stored region is
+// the tighter inner bound.
+func TestBoundIncomparableInnerPicksLargerRegion(t *testing.T) {
+	c := New(8)
+	small, large := region(0.40, 0.45), region(0.1, 0.9)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 3, 0.1), small) // lexicographic winner
+	c.Put(1, "E-PT", q2(0.4, 0.7, 2, 0.2), large)
+	ans := c.Bound(1, q2(0.4, 0.7, 3, 0.2))
+	if ans == nil || ans.Kind != Inner {
+		t.Fatalf("want inner bound, got %+v", ans)
+	}
+	if ans.Region != large {
+		t.Fatalf("picked the lexicographic neighbor (%+v) over the strictly larger region", ans.From)
+	}
+}
+
+// The outer direction mirrors it: among incomparable outer neighbors the
+// smaller stored region is the tighter superset, whatever its (k', ε').
+func TestBoundIncomparableOuterPicksSmallerRegion(t *testing.T) {
+	c := New(8)
+	big, tight := region(0.05, 0.95), region(0.2, 0.7)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 3, 0.4), big) // lexicographic winner (smaller k)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 4, 0.3), tight)
+	ans := c.Bound(1, q2(0.4, 0.7, 2, 0.2))
+	if ans == nil || ans.Kind != Outer {
+		t.Fatalf("want outer bound, got %+v", ans)
+	}
+	if ans.Region != tight {
+		t.Fatalf("picked the lexicographic neighbor (%+v) over the strictly smaller region", ans.From)
+	}
+}
+
+// When candidates are comparable, dominance decides without consulting the
+// proxy: the dominating (k', ε') owns the superset region by the
+// monotonicity invariant, and the cache trusts the invariant over 256
+// Monte-Carlo samples.
+func TestBoundDominanceDecidesComparablePairs(t *testing.T) {
+	c := New(8)
+	dom, sub := region(0.35, 0.5), region(0.1, 0.9)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 3, 0.2), dom) // dominates (2, 0.1)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 2, 0.1), sub)
+	ans := c.Bound(1, q2(0.4, 0.7, 4, 0.3))
+	if ans == nil || ans.Kind != Inner || ans.Region != dom {
+		t.Fatalf("dominance must pick (3, 0.2) regardless of the proxy, got %+v", ans)
+	}
+}
+
+// Incomparable-neighbor matrix in both bound directions, including the
+// k-equal and ε-equal edges of the partial order (where dominance applies
+// and the historical lexicographic pick happened to be right).
+func TestBoundNeighborMatrix(t *testing.T) {
+	mk := func() *Cache {
+		c := New(16)
+		c.Put(1, "E-PT", q2(0.4, 0.7, 1, 0.05), region(0.45, 0.50)) // strict inner
+		c.Put(1, "E-PT", q2(0.4, 0.7, 2, 0.05), region(0.40, 0.55)) // ε-equal edge
+		c.Put(1, "E-PT", q2(0.4, 0.7, 2, 0.10), region(0.35, 0.60)) // k-equal edge
+		c.Put(1, "E-PT", q2(0.4, 0.7, 1, 0.15), region(0.20, 0.80)) // incomparable to (2, 0.10), larger
+		c.Put(1, "E-PT", q2(0.4, 0.7, 5, 0.30), region(0.10, 0.90)) // outer
+		c.Put(1, "E-PT", q2(0.4, 0.7, 4, 0.40), region(0.15, 0.85)) // outer, incomparable, smaller
+		return c
+	}
+	// Inner side of (2, 0.2): candidates are all four low entries;
+	// dominance narrows the comparable chains to (2, 0.10), and the
+	// incomparable (1, 0.15) wins on measure.
+	ans := mk().Bound(1, q2(0.4, 0.7, 2, 0.2))
+	if ans == nil || ans.Kind != Inner || ans.From.K != 1 || ans.From.Eps != 0.15 {
+		t.Fatalf("inner matrix pick = %+v, want (1, 0.15)", ans)
+	}
+	// k-equal edge: (2, 0.05) vs (2, 0.10) — dominance on ε.
+	c := New(16)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 2, 0.05), region(0.40, 0.55))
+	c.Put(1, "E-PT", q2(0.4, 0.7, 2, 0.10), region(0.35, 0.60))
+	if ans := c.Bound(1, q2(0.4, 0.7, 2, 0.2)); ans == nil || ans.From.Eps != 0.10 {
+		t.Fatalf("k-equal edge pick = %+v, want (2, 0.10)", ans)
+	}
+	// ε-equal edge: (1, 0.05) vs (2, 0.05) — dominance on k.
+	c = New(16)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 1, 0.05), region(0.45, 0.50))
+	c.Put(1, "E-PT", q2(0.4, 0.7, 2, 0.05), region(0.40, 0.55))
+	if ans := c.Bound(1, q2(0.4, 0.7, 3, 0.2)); ans == nil || ans.From.K != 2 {
+		t.Fatalf("ε-equal edge pick = %+v, want (2, 0.05)", ans)
+	}
+	// Outer side of (3, 0.25): (5, 0.30) vs (4, 0.40) are incomparable; the
+	// smaller region (4, 0.40) is the tighter superset.
+	ans = mk().Bound(1, q2(0.4, 0.7, 6, 0.45))
+	if ans == nil || ans.Kind != Inner {
+		t.Fatalf("everything below (6, 0.45) should serve inner, got %+v", ans)
+	}
+	c = New(16)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 5, 0.30), region(0.10, 0.90))
+	c.Put(1, "E-PT", q2(0.4, 0.7, 4, 0.40), region(0.15, 0.85))
+	if ans := c.Bound(1, q2(0.4, 0.7, 3, 0.25)); ans == nil || ans.Kind != Outer || ans.From.K != 4 {
+		t.Fatalf("outer matrix pick = %+v, want (4, 0.40)", ans)
+	}
+}
+
+// Inexact (anytime) entries are sound inner bounds only: never an exact
+// hit, never an Exact-kind bound answer, never an outer bound.
+func TestPutInnerServesOnlyInnerBounds(t *testing.T) {
+	c := New(8)
+	q := q2(0.4, 0.7, 3, 0.2)
+	r := region(0.3, 0.5)
+	c.PutInner(1, "anytime", q, r)
+	if _, ok := c.Get(1, "anytime", q); ok {
+		t.Fatal("inexact entry answered an exact Get")
+	}
+	// Same (k, ε): the region is a subset, not the answer — Inner, not Exact.
+	ans := c.Bound(1, q)
+	if ans == nil || ans.Kind != Inner || ans.Region != r {
+		t.Fatalf("want inner bound from the inexact entry, got %+v", ans)
+	}
+	// A stricter query would need an outer bound; the inexact entry must
+	// not pretend to be one.
+	if ans := c.Bound(1, q2(0.4, 0.7, 2, 0.1)); ans != nil {
+		t.Fatalf("inexact entry served as an outer bound: %+v", ans)
+	}
+	// Re-storing a larger anytime region ratchets the cached bound upward.
+	r2 := region(0.2, 0.7)
+	c.PutInner(1, "anytime", q, r2)
+	if c.Len() != 1 {
+		t.Fatalf("PutInner on the same key grew the cache: len=%d", c.Len())
+	}
+	if ans := c.Bound(1, q); ans == nil || ans.Region != r2 {
+		t.Fatalf("re-PutInner did not replace the stored region: %+v", ans)
+	}
+}
+
+// An exact entry and an inexact entry at incomparable (k, ε): the measure
+// proxy compares their stored regions directly, because the inexact
+// entry's (k, ε) says nothing about its region's size.
+func TestBoundMixedExactInexactComparesByMeasure(t *testing.T) {
+	c := New(8)
+	big := region(0.1, 0.9)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 3, 0.1), region(0.4, 0.45))
+	c.PutInner(1, "anytime", q2(0.4, 0.7, 2, 0.2), big)
+	ans := c.Bound(1, q2(0.4, 0.7, 3, 0.2))
+	if ans == nil || ans.Kind != Inner || ans.Region != big {
+		t.Fatalf("want the larger inexact region, got %+v", ans)
+	}
+	// Comparable case: the exact (3, 0.1) dominates the inexact (2, 0.05)'s
+	// key, but the inexact region is larger — measure must still decide,
+	// since dominance over an inexact entry is meaningless.
+	c = New(8)
+	c.Put(1, "E-PT", q2(0.4, 0.7, 3, 0.1), region(0.4, 0.45))
+	c.PutInner(1, "anytime", q2(0.4, 0.7, 2, 0.05), big)
+	ans = c.Bound(1, q2(0.4, 0.7, 3, 0.2))
+	if ans == nil || ans.Kind != Inner || ans.Region != big {
+		t.Fatalf("want the larger inexact region under comparability, got %+v", ans)
+	}
+}
+
 func TestLRUEviction(t *testing.T) {
 	c := New(2)
 	qa, qb, qc := q2(0.1, 0.1, 1, 0), q2(0.2, 0.2, 1, 0), q2(0.3, 0.3, 1, 0)

@@ -94,24 +94,7 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 		orig []int32 // D⁻ at sampling time (sorted)
 		negC []int32 // D⁻ used for negative constraints after merging
 	}
-	scale := 1 - q.Eps
-	// Classify each plane's normal component-wise up front, mirroring
-	// BuildPlanes: a plane that is never negative over U — including the
-	// degenerate zero normal from q = (1−ε)p — contributes 0 to every
-	// sample's D⁻ by the system-wide contract (see QueryPlane). Deciding
-	// such planes by the raw utility difference instead would let rounding
-	// noise disqualify samples the exact solvers accept.
-	dropped := make([]bool, len(pts))
-	for j, p := range pts {
-		neg := false
-		for x := 0; x < d; x++ {
-			if q.Q[x]-scale*p[x] < -geom.Tol {
-				neg = true
-				break
-			}
-		}
-		dropped[j] = !neg
-	}
+	dropped := apcDroppedPlanes(pts, q)
 	// Draw all samples up front so the answer does not depend on the
 	// worker count, then classify them (the O(N·n·d) phase), optionally in
 	// parallel.
@@ -120,19 +103,7 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 		us[i] = vec.RandSimplex(rng, d)
 	}
 	classify := func(u vec.Vec) (neg []int32, ok bool) {
-		fq := u.Dot(q.Q)
-		for j, p := range pts {
-			if dropped[j] {
-				continue
-			}
-			if scale*u.Dot(p) > fq {
-				neg = append(neg, int32(j))
-				if len(neg) >= q.K {
-					return nil, false
-				}
-			}
-		}
-		return neg, true
+		return apcClassify(pts, q, dropped, u)
 	}
 	negs := make([][]int32, n)
 	oks := make([]bool, n)
@@ -226,6 +197,50 @@ func APCContext(ctx context.Context, pts []vec.Vec, q Query, opt APCOptions) (*R
 		return emptyRegion(d), st, nil
 	}
 	return newCellRegion(d, cells), st, nil
+}
+
+// apcDroppedPlanes classifies each plane's normal component-wise up front,
+// mirroring BuildPlanes: a plane that is never negative over U — including
+// the degenerate zero normal from q = (1−ε)p — contributes 0 to every
+// sample's D⁻ by the system-wide contract (see QueryPlane). Deciding such
+// planes by the raw utility difference instead would let rounding noise
+// disqualify samples the exact solvers accept.
+func apcDroppedPlanes(pts []vec.Vec, q Query) []bool {
+	d := q.Q.Dim()
+	scale := 1 - q.Eps
+	dropped := make([]bool, len(pts))
+	for j, p := range pts {
+		neg := false
+		for x := 0; x < d; x++ {
+			if q.Q[x]-scale*p[x] < -geom.Tol {
+				neg = true
+				break
+			}
+		}
+		dropped[j] = !neg
+	}
+	return dropped
+}
+
+// apcClassify computes one sample's D⁻ set (ascending point indices, by
+// construction): the points beating (1−ε)-scaled q under u, excluding the
+// planes dropped by apcDroppedPlanes. ok is false when the set reaches k —
+// the sample is unqualified and its partial D⁻ is discarded.
+func apcClassify(pts []vec.Vec, q Query, dropped []bool, u vec.Vec) (neg []int32, ok bool) {
+	scale := 1 - q.Eps
+	fq := u.Dot(q.Q)
+	for j, p := range pts {
+		if dropped[j] {
+			continue
+		}
+		if scale*u.Dot(p) > fq {
+			neg = append(neg, int32(j))
+			if len(neg) >= q.K {
+				return nil, false
+			}
+		}
+	}
+	return neg, true
 }
 
 // buildPartition intersects the simplex with h⁻ for every point in negC,

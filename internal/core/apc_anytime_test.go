@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rrq/internal/vec"
+)
+
+// Every streamed prefix of the anytime construction must be sound (never
+// contain an unqualified preference) and monotone: cutting later can only
+// grow the region.
+func TestAnytimeSoundAndMonotonePrefixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(571))
+	for trial := 0; trial < 25; trial++ {
+		d := 2 + rng.Intn(3)
+		pts, q := randomInstance(rng, 30, d)
+		n := 80
+		cuts := []int{n / 4, n / 2, 3 * n / 4, n}
+		var prev *Region
+		prevPieces := -1
+		for _, cut := range cuts {
+			r, st, acc, err := APCAnytimeContext(t.Context(), pts, q, AnytimeOptions{
+				Samples: n, Seed: int64(trial), MaxSamples: cut,
+			})
+			if err != nil {
+				t.Fatalf("trial %d cut %d: %v", trial, cut, err)
+			}
+			if acc.SamplesUsed != cut {
+				t.Fatalf("trial %d cut %d: SamplesUsed=%d", trial, cut, acc.SamplesUsed)
+			}
+			if acc.Cut != (cut < n) {
+				t.Fatalf("trial %d cut %d: Cut=%v", trial, cut, acc.Cut)
+			}
+			if st.Samples != cut {
+				t.Fatalf("trial %d cut %d: Stats.Samples=%d", trial, cut, st.Samples)
+			}
+			checkRegionAgainstOracle(t, r, pts, q, rng, 60, false)
+			if st.Pieces < prevPieces {
+				t.Fatalf("trial %d cut %d: pieces shrank %d → %d", trial, cut, prevPieces, st.Pieces)
+			}
+			if prev != nil {
+				for i := 0; i < 60; i++ {
+					u := vec.RandSimplex(rng, d)
+					if prev.Contains(u) && !r.Contains(u) {
+						t.Fatalf("trial %d cut %d: region lost %v held at the earlier cut", trial, cut, u)
+					}
+				}
+			}
+			prev, prevPieces = r, st.Pieces
+		}
+	}
+}
+
+// Resuming from a cut (StartSample + the cut's cells as Warm) must agree
+// with the uncut run: the construction is a pure function of the seed, so
+// the resumed suffix appends exactly the cells the fresh run would.
+func TestAnytimeResumeMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(572))
+	for trial := 0; trial < 15; trial++ {
+		d := 2 + rng.Intn(3)
+		pts, q := randomInstance(rng, 25, d)
+		opt := AnytimeOptions{Samples: 60, Seed: int64(100 + trial)}
+		full, _, facc, err := APCAnytimeContext(t.Context(), pts, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cutOpt := opt
+		cutOpt.MaxSamples = 20
+		cut, _, cacc, err := APCAnytimeContext(t.Context(), pts, q, cutOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resOpt := opt
+		resOpt.StartSample = cacc.SamplesUsed
+		resOpt.Warm = cut.Cells()
+		res, _, racc, err := APCAnytimeContext(t.Context(), pts, q, resOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if racc.SamplesUsed != facc.SamplesUsed {
+			t.Fatalf("trial %d: resumed SamplesUsed=%d, fresh=%d", trial, racc.SamplesUsed, facc.SamplesUsed)
+		}
+		if res.NumPieces() != full.NumPieces() {
+			t.Fatalf("trial %d: resumed pieces=%d, fresh=%d", trial, res.NumPieces(), full.NumPieces())
+		}
+		for i := 0; i < 120; i++ {
+			u := vec.RandSimplex(rng, d)
+			if res.Contains(u) != full.Contains(u) {
+				t.Fatalf("trial %d: resumed and fresh runs disagree at %v", trial, u)
+			}
+		}
+	}
+}
+
+// A warm start from a stricter neighbor (k' ≤ k, ε' ≤ ε) is exactly the
+// cache's inner-bound seeding path: the warm cells join the answer, and the
+// combined region must stay sound for the relaxed query.
+func TestAnytimeWarmStartFromInnerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(573))
+	for trial := 0; trial < 15; trial++ {
+		d := 2 + rng.Intn(3)
+		pts, q := randomInstance(rng, 30, d)
+		q.K++ // headroom so the stricter neighbor is a real instance
+		strict := q
+		strict.K--
+		strict.Eps = q.Eps / 2
+		seedRegion, _, _, err := APCAnytimeContext(t.Context(), pts, strict, AnytimeOptions{Samples: 50, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, _, _, err := APCAnytimeContext(t.Context(), pts, q, AnytimeOptions{
+			Samples: 50, Seed: int64(trial) + 7, Warm: seedRegion.Cells(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRegionAgainstOracle(t, r, pts, q, rng, 80, false)
+		// Monotone improvement over the seed.
+		for i := 0; i < 60; i++ {
+			u := vec.RandSimplex(rng, d)
+			if seedRegion.Contains(u) && !r.Contains(u) {
+				t.Fatalf("trial %d: warm-started region lost seed point %v", trial, u)
+			}
+		}
+	}
+}
+
+// Regression for the correlated-measurement bug: estimating the region's
+// volume by replaying the solver's own sample stream counts exactly the
+// samples that seeded the partitions, so it tracks the *true* region's
+// volume rather than the constructed subset's and overstates coverage. The
+// default accuracy report must use the decoupled stream, and the two paths
+// must diverge on an instance the sample pool undercovers.
+func TestAnytimeMeasureSeedDecoupled(t *testing.T) {
+	rng := rand.New(rand.NewSource(574))
+	pts, q := randomInstance(rng, 60, 4)
+	q.K = 2
+	q.Eps = 0.05
+	const n = 40
+	opt := AnytimeOptions{Samples: n, Seed: 9, MeasureSamples: n}
+	r, _, acc, err := APCAnytimeContext(t.Context(), pts, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Empty() {
+		t.Skip("empty region: instance too strict for the divergence check")
+	}
+	correlated := r.MeasureWithSeed(opt.Seed, n) // replays the solver's own stream
+	independent := r.MeasureWithSeed(measureSeedFor(opt.Seed), n)
+	if acc.VolumeEst != independent {
+		t.Fatalf("VolumeEst=%v, want the decoupled-stream estimate %v", acc.VolumeEst, independent)
+	}
+	if correlated <= independent {
+		t.Fatalf("correlated estimate %v did not exceed independent %v — the streams are not decoupled the way the bug needs", correlated, independent)
+	}
+}
+
+// RhoFor inverts SampleSizeFor and the reported bound must tighten as the
+// construction consumes more samples.
+func TestAnytimeRhoBound(t *testing.T) {
+	for _, tc := range []struct {
+		rho, delta float64
+		d          int
+	}{{0.1, 0.05, 3}, {0.05, 0.01, 5}, {0.3, 0.1, 2}} {
+		n := SampleSizeFor(tc.rho, tc.delta, tc.d)
+		if got := RhoFor(n, tc.delta, tc.d); got > tc.rho+1e-9 {
+			t.Fatalf("RhoFor(%d)=%v, want ≤ %v", n, got, tc.rho)
+		}
+	}
+	if RhoFor(0, 0.05, 3) != 1 {
+		t.Fatal("RhoFor with no samples must clamp to 1")
+	}
+	rng := rand.New(rand.NewSource(575))
+	pts, q := randomInstance(rng, 20, 3)
+	var prev float64 = 2
+	for _, cut := range []int{10, 40, 160} {
+		_, _, acc, err := APCAnytimeContext(t.Context(), pts, q, AnytimeOptions{Samples: 160, Seed: 1, MaxSamples: cut})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc.RhoBound >= prev {
+			t.Fatalf("RhoBound did not tighten: %v after %d samples (prev %v)", acc.RhoBound, cut, prev)
+		}
+		prev = acc.RhoBound
+	}
+}
+
+// An exhausted wall-clock budget cuts before the first sample; the answer
+// is the (empty but sound) zero-sample prefix with a vacuous ρ bound.
+func TestAnytimeExpiredBudgetCutsImmediately(t *testing.T) {
+	rng := rand.New(rand.NewSource(576))
+	pts, q := randomInstance(rng, 15, 3)
+	r, _, acc, err := APCAnytimeContext(t.Context(), pts, q, AnytimeOptions{Samples: 40, Seed: 2, Budget: -time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A negative budget means Budget ≤ 0 is "no cut"; use MaxSamples 0 edge
+	// instead: the construction must have run to completion.
+	if acc.Cut || acc.SamplesUsed != 40 {
+		t.Fatalf("Budget ≤ 0 must disable the time cut: %+v", acc)
+	}
+	_ = r
+	r, _, acc, err = APCAnytimeContext(t.Context(), pts, q, AnytimeOptions{Samples: 40, Seed: 2, Budget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acc.Cut {
+		t.Fatalf("1ns budget did not cut: %+v", acc)
+	}
+	if acc.SamplesUsed != 0 || !r.Empty() || acc.RhoBound != 1 {
+		t.Fatalf("zero-sample cut must be empty with ρ=1: %+v pieces=%d", acc, r.NumPieces())
+	}
+}

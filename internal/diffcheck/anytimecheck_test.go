@@ -1,0 +1,51 @@
+package diffcheck
+
+import "testing"
+
+// TestAnytimeDifferentialSweep is the anytime acceptance gate: across the
+// full 208-problem corpus, every streamed prefix of the progressive A-PC
+// construction must be sound against the counting oracle, regions must be
+// monotone across cuts, and the reported accuracy contract (sample
+// accounting, Cut flag, Lemma 5.10 ρ bound) must hold.
+func TestAnytimeDifferentialSweep(t *testing.T) {
+	rep := RunAnytime(Config{Seed: 20260808})
+
+	if rep.Problems < 200 {
+		t.Fatalf("ran %d problems, want ≥ 200", rep.Problems)
+	}
+	// Every solvable problem contributes its full cut ladder (≥ 2 budgets
+	// once N ≥ 8); the sweep must not silently degrade.
+	if min := 2 * (rep.Problems - rep.SolveSkipped); rep.Cuts < min {
+		t.Errorf("constructed %d cuts over %d solvable problems, want ≥ %d",
+			rep.Cuts, rep.Problems-rep.SolveSkipped, min)
+	}
+	if rep.SampleChecks < 1000 {
+		t.Errorf("only %d margin-guarded membership assertions ran, want ≥ 1000", rep.SampleChecks)
+	}
+	if rep.AccuracyChecks < rep.Cuts {
+		t.Errorf("only %d accuracy assertions over %d cuts", rep.AccuracyChecks, rep.Cuts)
+	}
+	if rep.SolveSkipped > rep.Problems/2 {
+		t.Errorf("construction failed on %d of %d problems — the sweep lost most of its coverage",
+			rep.SolveSkipped, rep.Problems)
+	}
+	for i, m := range rep.Mismatches {
+		if i >= 5 {
+			t.Errorf("... and %d more mismatches", len(rep.Mismatches)-5)
+			break
+		}
+		t.Errorf("mismatch:\n%s", m.JSON())
+	}
+}
+
+// TestRunAnytimeDeterminism: identical configs must produce identical
+// reports — a violation is a determinate counterexample, not sampling luck.
+func TestRunAnytimeDeterminism(t *testing.T) {
+	cfg := Config{Seed: 17, Problems: 24}
+	a, b := RunAnytime(cfg), RunAnytime(cfg)
+	if a.Problems != b.Problems || a.Cuts != b.Cuts ||
+		a.SampleChecks != b.SampleChecks || a.AccuracyChecks != b.AccuracyChecks ||
+		len(a.Mismatches) != len(b.Mismatches) {
+		t.Fatalf("reports differ across identical runs: %+v vs %+v", a, b)
+	}
+}

@@ -94,7 +94,12 @@ func (a *Admission) Acquire(ctx context.Context) (release func(elapsed time.Dura
 	if a.policy == AdmitCap && depth > int64(a.capacity+a.maxQueue) {
 		a.depth.Add(-1)
 		a.shed.Add(1)
-		return nil, &ShedError{Depth: int(depth), RetryAfter: a.retryAfter(depth)}
+		// The drain estimate covers the requests actually ahead of a retry:
+		// depth still counts this rejected request (its decrement has
+		// already happened, but depth is the pre-decrement observation), so
+		// passing it unadjusted would inflate every Retry-After by one
+		// avg-solve.
+		return nil, &ShedError{Depth: int(depth), RetryAfter: a.retryAfter(depth - 1)}
 	}
 	select {
 	case a.slots <- struct{}{}:

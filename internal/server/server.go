@@ -58,6 +58,15 @@ type Config struct {
 	// a test hook (fault injectors are context-carried) mirroring
 	// http.Server.BaseContext.
 	BaseContext func() context.Context
+	// AnytimeBudget, when positive, turns saturation under the cap policy
+	// into graceful degradation: a request the admission controller would
+	// shed is instead answered on the anytime tier — the progressive A-PC
+	// construction cut at this wall-clock budget — without occupying a
+	// solve slot. The response carries tier "anytime" (X-RRQ-Tier header
+	// and body field) plus the enforced accuracy contract, and the
+	// "server.tier_degraded" counter tracks how often saturation degraded
+	// instead of shedding. Zero keeps the pure shed behavior (429).
+	AnytimeBudget time.Duration
 	// Now is the clock used for tenant metering; nil means time.Now.
 	Now func() time.Time
 }
@@ -170,15 +179,32 @@ type degradedNote struct {
 	Cause  string `json:"cause"`
 }
 
+// accuracyNote reports an anytime answer's enforced accuracy contract:
+// the samples the construction consumed, the Lemma 5.10 volume-ratio
+// bound they support at confidence 1−delta, whether a budget cut the run,
+// and an independently seeded volume estimate of the served region.
+type accuracyNote struct {
+	SamplesUsed int     `json:"samples_used"`
+	RhoBound    float64 `json:"rho_bound"`
+	Delta       float64 `json:"delta"`
+	Cut         bool    `json:"cut"`
+	VolumeEst   float64 `json:"volume_est"`
+}
+
 // solveResponse is the /v1/solve success body. Cache is the CacheStatus
 // string ("bypass", "miss", "hit", "inner-bound", "outer-bound"); for
 // bound-served answers CacheSource names the cached query whose region is
 // returned, and the region bounds — rather than equals — the true answer.
+// Tier ("exact", "approx", "anytime" — also the X-RRQ-Tier header)
+// classifies the serving contract; anytime answers additionally carry
+// Accuracy.
 type solveResponse struct {
 	Version     uint64          `json:"version"`
 	Partitions  int             `json:"partitions"`
 	ElapsedMS   float64         `json:"elapsed_ms"`
 	Cache       string          `json:"cache"`
+	Tier        string          `json:"tier"`
+	Accuracy    *accuracyNote   `json:"accuracy,omitempty"`
 	CacheSource *querySpec      `json:"cache_source,omitempty"`
 	Degraded    *degradedNote   `json:"degraded,omitempty"`
 	Deduped     bool            `json:"deduped,omitempty"`
@@ -290,10 +316,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.BaseContext != nil {
 		ctx = s.cfg.BaseContext()
 	}
+	q := rrq.Query{Q: rrq.Point(req.Q), K: req.K, Epsilon: req.Epsilon}
 	release, err := s.adm.Acquire(ctx)
 	if err != nil {
 		var she *ShedError
 		if errors.As(err, &she) {
+			if s.cfg.AnytimeBudget > 0 {
+				// Saturation degrades instead of shedding: answer on the
+				// anytime tier, outside the solve slots — the budget bounds
+				// the work, so the degraded path cannot pile onto the very
+				// queue that triggered it.
+				s.counter("server.tier_degraded")
+				res, err := ix.SolveContext(ctx, q, rrq.WithAnytime(s.cfg.AnytimeBudget))
+				if err != nil {
+					writeError(w, err, 0)
+					return
+				}
+				s.cfg.Tenants.Charge(tenant, WorkUnits(res.Stats), s.cfg.Now())
+				s.writeSolve(w, ix.Version(), res, false)
+				return
+			}
 			s.counter("server.shed")
 			writeError(w, err, she.RetryAfter)
 			return
@@ -302,7 +344,6 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.gaugeDepth()
-	q := rrq.Query{Q: rrq.Point(req.Q), K: req.K, Epsilon: req.Epsilon}
 	// Coalesce concurrent identical requests: one solve serves them all.
 	// The key pairs the canonical query form with the current epoch so a
 	// mutation mid-flight never couples requests across versions (each
@@ -325,18 +366,34 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// is charged; coalesced followers consumed no solver work.
 		s.cfg.Tenants.Charge(tenant, WorkUnits(res.Stats), s.cfg.Now())
 	}
+	s.writeSolve(w, ix.Version(), res, shared)
+}
+
+// writeSolve emits the success body (and the X-RRQ-Tier header) for one
+// solve result.
+func (s *Server) writeSolve(w http.ResponseWriter, version uint64, res rrq.Result, shared bool) {
 	region, err := res.Region.MarshalJSON()
 	if err != nil {
 		writeError(w, err, 0)
 		return
 	}
 	resp := solveResponse{
-		Version:    ix.Version(),
+		Version:    version,
 		Partitions: res.Region.NumPartitions(),
 		ElapsedMS:  float64(res.Elapsed.Microseconds()) / 1000,
 		Cache:      res.Cache.String(),
+		Tier:       res.Tier.String(),
 		Deduped:    shared,
 		Region:     region,
+	}
+	if acc := res.Accuracy; acc != nil {
+		resp.Accuracy = &accuracyNote{
+			SamplesUsed: acc.SamplesUsed,
+			RhoBound:    acc.RhoBound,
+			Delta:       acc.Delta,
+			Cut:         acc.Cut,
+			VolumeEst:   acc.VolumeEst,
+		}
 	}
 	if src := res.CacheSource; src != nil {
 		resp.CacheSource = &querySpec{Q: src.Q, K: src.K, Epsilon: src.Epsilon}
@@ -344,6 +401,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if deg := res.Degraded; deg != nil {
 		resp.Degraded = &degradedNote{Reason: deg.Reason.String(), Solver: deg.Solver, Cause: deg.Cause.Error()}
 	}
+	w.Header().Set("X-RRQ-Tier", res.Tier.String())
 	writeJSON(w, http.StatusOK, resp)
 }
 

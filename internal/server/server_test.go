@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -295,6 +296,75 @@ func TestErrorMappingShed(t *testing.T) {
 	}
 	if adm.Shed() != 1 {
 		t.Fatalf("shed counter = %d, want 1", adm.Shed())
+	}
+}
+
+// With an anytime budget configured, saturation under the cap policy
+// degrades to the anytime tier instead of shedding: 200 with tier
+// "anytime" (header and body), an accuracy contract, and the
+// "server.tier_degraded" counter — while an unsaturated solve still
+// reports tier "exact".
+func TestDegradedAnytimeTierUnderSaturation(t *testing.T) {
+	inj := faultinject.New(&faultinject.Fault{
+		Point: faultinject.SolveStart,
+		Delay: 300 * time.Millisecond,
+		Times: 1,
+	})
+	reg := rrq.NewRegistry()
+	adm := NewAdmission(AdmitCap, 1, 0)
+	ts := newTestServer(t, Config{
+		Index:         testIndex(t, rrq.WithMetrics(reg)),
+		Metrics:       reg,
+		Admission:     adm,
+		AnytimeBudget: 50 * time.Millisecond,
+		BaseContext:   func() context.Context { return faultinject.ContextWith(context.Background(), inj) },
+	})
+	// Occupy the only slot with a slow solve...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, _ := postJSON(t, ts.URL+"/v1/solve", solveBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("slow solve status %d", resp.StatusCode)
+		}
+	}()
+	for i := 0; adm.Depth() == 0 && i < 100; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if adm.Depth() == 0 {
+		t.Fatal("slow solve never occupied the slot")
+	}
+	// ...so the next request degrades to the anytime tier instead of 429.
+	resp, b := postJSON(t, ts.URL+"/v1/solve", `{"q":[0.35,0.8],"k":1,"epsilon":0.05}`)
+	wg.Wait()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded solve status %d: %s, want 200", resp.StatusCode, b)
+	}
+	sr := decodeSolve(t, b)
+	if sr.Tier != "anytime" || resp.Header.Get("X-RRQ-Tier") != "anytime" {
+		t.Fatalf("degraded solve tier body=%q header=%q, want anytime", sr.Tier, resp.Header.Get("X-RRQ-Tier"))
+	}
+	if sr.Accuracy == nil || sr.Accuracy.RhoBound <= 0 || sr.Accuracy.RhoBound > 1 {
+		t.Fatalf("degraded solve accuracy %+v, want a ρ bound in (0, 1]", sr.Accuracy)
+	}
+	// The admission controller still observed the saturation (adm.Shed()),
+	// but the server degraded instead of answering 429: its shed counter
+	// stays at zero, the degrade counter records the tier switch.
+	if got := reg.Counter("server.shed").Value(); got != 0 {
+		t.Fatalf("server.shed = %d, want 0 (degraded, not shed)", got)
+	}
+	if got := reg.Counter("server.tier_degraded").Value(); got != 1 {
+		t.Fatalf("server.tier_degraded = %d, want 1", got)
+	}
+
+	// Unsaturated, the tier annotations report the exact path.
+	resp, b = postJSON(t, ts.URL+"/v1/solve", solveBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-saturation solve status %d: %s", resp.StatusCode, b)
+	}
+	if sr := decodeSolve(t, b); sr.Tier != "exact" || resp.Header.Get("X-RRQ-Tier") != "exact" {
+		t.Fatalf("unsaturated solve tier body=%q header=%q, want exact", sr.Tier, resp.Header.Get("X-RRQ-Tier"))
 	}
 }
 
@@ -639,6 +709,74 @@ func healthz(t *testing.T, base string) string {
 		t.Fatalf("healthz %q status %d, want %d", body, resp.StatusCode, want)
 	}
 	return body
+}
+
+// Regression for the Retry-After off-by-one: the depth observed at the shed
+// boundary still counts the rejected request itself, so the drain estimate
+// must subtract the caller. At depth == capacity+maxQueue+1 with a warm
+// EWMA, the queue genuinely ahead of a retry is capacity+maxQueue deep —
+// the estimate is (maxQueue)·avg/capacity, not (maxQueue+1)·avg/capacity.
+func TestRetryAfterExcludesRejectedCaller(t *testing.T) {
+	const (
+		capacity = 2
+		maxQueue = 3
+		avg      = 8 * time.Second
+	)
+	a := NewAdmission(AdmitCap, capacity, maxQueue)
+	a.observe(avg) // first observation seeds the EWMA whole
+
+	var releases []func(time.Duration)
+	for i := 0; i < capacity; i++ {
+		rel, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		releases = append(releases, rel)
+	}
+	done := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < maxQueue; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			rel, err := a.Acquire(ctx)
+			if err == nil {
+				rel(time.Millisecond)
+			}
+		}()
+	}
+	for i := 0; a.Depth() != capacity+maxQueue && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if a.Depth() != capacity+maxQueue {
+		t.Fatalf("depth = %d, want the full queue %d", a.Depth(), capacity+maxQueue)
+	}
+
+	// The boundary arrival: observed depth is capacity+maxQueue+1.
+	_, err := a.Acquire(context.Background())
+	var she *ShedError
+	if !errors.As(err, &she) {
+		t.Fatalf("boundary acquire returned %v, want *ShedError", err)
+	}
+	if she.Depth != capacity+maxQueue+1 {
+		t.Fatalf("ShedError.Depth = %d, want %d", she.Depth, capacity+maxQueue+1)
+	}
+	want := (time.Duration(maxQueue) * avg / capacity).Round(time.Second)
+	inflated := (time.Duration(maxQueue+1) * avg / capacity).Round(time.Second)
+	if she.RetryAfter == inflated {
+		t.Fatalf("RetryAfter = %v still counts the rejected caller (want %v)", she.RetryAfter, want)
+	}
+	if she.RetryAfter != want {
+		t.Fatalf("RetryAfter = %v, want %v", she.RetryAfter, want)
+	}
+
+	cancel()
+	for _, rel := range releases {
+		rel(time.Millisecond)
+	}
+	for i := 0; i < maxQueue; i++ {
+		<-done
+	}
 }
 
 // TestRetryAfterClamp pins the [1s, 60s] bounds: an empty EWMA answers the

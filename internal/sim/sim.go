@@ -96,6 +96,12 @@ type Config struct {
 
 	// Timeout bounds each request's context (queue wait + solve). 0 = none.
 	Timeout time.Duration
+
+	// AnytimeBudget > 0 mirrors the server's graceful degradation: a
+	// request the admission controller sheds is answered on the anytime
+	// tier under this wall-clock budget instead of failing, and counts as
+	// Degraded in the report.
+	AnytimeBudget time.Duration
 }
 
 // Report aggregates one run. Latency percentiles cover completed solves
@@ -105,6 +111,7 @@ type Report struct {
 	Requests       int     `json:"requests"`
 	Solved         int     `json:"solved"`
 	Shed           int     `json:"shed"`
+	Degraded       int     `json:"degraded"`
 	TenantRejected int     `json:"tenant_rejected"`
 	Failed         int     `json:"failed"`
 	CacheHits      int     `json:"cache_hits"`
@@ -124,6 +131,7 @@ const (
 	ocSolved
 	ocSolvedCacheHit
 	ocSolvedCacheBound
+	ocSolvedDegraded
 	ocShed
 	ocTenantRejected
 	ocFailed
@@ -240,6 +248,21 @@ func (r *runner) do(ctx context.Context, i int) {
 	if err != nil {
 		var shed *server.ShedError
 		if errors.As(err, &shed) {
+			if cfg.AnytimeBudget > 0 {
+				// Graceful degradation, as the server deploys it: answer on
+				// the anytime tier without a solve slot.
+				res, err := cfg.Index.SolveContext(ctx, cfg.Queries[i], rrq.WithAnytime(cfg.AnytimeBudget))
+				r.latNs[i] = time.Since(start).Nanoseconds()
+				if err != nil {
+					r.outcome[i] = ocFailed
+					return
+				}
+				if cfg.Tenants != nil {
+					cfg.Tenants.Charge(tenant, server.WorkUnits(res.Stats), time.Now())
+				}
+				r.outcome[i] = ocSolvedDegraded
+				return
+			}
 			r.outcome[i] = ocShed
 		} else {
 			r.outcome[i] = ocFailed
@@ -277,13 +300,15 @@ func (r *runner) report(elapsed time.Duration) Report {
 	var lats []int64
 	for i, oc := range r.outcome {
 		switch oc {
-		case ocSolved, ocSolvedCacheHit, ocSolvedCacheBound:
+		case ocSolved, ocSolvedCacheHit, ocSolvedCacheBound, ocSolvedDegraded:
 			rep.Solved++
 			lats = append(lats, r.latNs[i])
 			if oc == ocSolvedCacheHit {
 				rep.CacheHits++
 			} else if oc == ocSolvedCacheBound {
 				rep.CacheBounds++
+			} else if oc == ocSolvedDegraded {
+				rep.Degraded++
 			}
 		case ocShed:
 			rep.Shed++
@@ -332,8 +357,8 @@ func percentile(sorted []int64, p float64) int64 {
 // String renders the report as the one-line summary rrqsim prints.
 func (rep Report) String() string {
 	return fmt.Sprintf(
-		"policy=%s requests=%d solved=%d shed=%d (%.0f%%) rejected=%d failed=%d cache=%d+%d p50=%v p99=%v qps=%.0f",
-		rep.Policy, rep.Requests, rep.Solved, rep.Shed, 100*rep.ShedRate,
+		"policy=%s requests=%d solved=%d shed=%d (%.0f%%) degraded=%d rejected=%d failed=%d cache=%d+%d p50=%v p99=%v qps=%.0f",
+		rep.Policy, rep.Requests, rep.Solved, rep.Shed, 100*rep.ShedRate, rep.Degraded,
 		rep.TenantRejected, rep.Failed, rep.CacheHits, rep.CacheBounds,
 		time.Duration(rep.P50Ns).Round(time.Microsecond),
 		time.Duration(rep.P99Ns).Round(time.Microsecond),

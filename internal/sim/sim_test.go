@@ -153,6 +153,40 @@ func TestOpenLoopCapPolicySheds(t *testing.T) {
 	}
 }
 
+// With an anytime budget, requests the cap policy would shed are answered
+// on the anytime tier and counted as Degraded instead.
+func TestOpenLoopAnytimeDegradesInsteadOfShedding(t *testing.T) {
+	ds, ix := simIndex(t, 0)
+	qs := Workload{Queries: 40, KMin: 3, KMax: 6, EpsLevels: []float64{0.1}, Repeat: 0, Seed: 9}.Generate(ds)
+	// Same overload shape as TestOpenLoopCapPolicySheds; only the
+	// degradation knob differs.
+	ctx := faultinject.ContextWith(context.Background(),
+		faultinject.New(&faultinject.Fault{Point: faultinject.SolveStart, Delay: 20 * time.Millisecond}))
+	rep, err := Run(ctx, Config{
+		Index:         ix,
+		Admission:     server.NewAdmission(server.AdmitCap, 1, 0),
+		Queries:       qs,
+		ArrivalRate:   20000,
+		ArrivalSeed:   2,
+		AnytimeBudget: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Shed != 0 {
+		t.Fatalf("anytime degradation left %d requests shed: %+v", rep.Shed, rep)
+	}
+	if rep.Degraded == 0 {
+		t.Fatalf("overloaded run degraded nothing: %+v", rep)
+	}
+	if rep.Solved+rep.Failed != rep.Requests {
+		t.Fatalf("outcomes don't sum to requests: %+v", rep)
+	}
+	if rep.Degraded > rep.Solved {
+		t.Fatalf("degraded %d exceeds solved %d", rep.Degraded, rep.Solved)
+	}
+}
+
 func TestTenantMeteringRejects(t *testing.T) {
 	ds, ix := simIndex(t, 0)
 	qs := Workload{Queries: 30, KMin: 5, KMax: 8, EpsLevels: []float64{0.2}, Repeat: 0, Seed: 4}.Generate(ds)

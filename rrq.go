@@ -204,6 +204,12 @@ type Stats = core.Stats
 // cache is configured). For a bound-served answer (CacheInner/CacheOuter)
 // CacheSource names the cached query whose region was served; the region
 // then bounds, rather than equals, the true answer — see WithCacheBounds.
+// For an anytime answer warm-started from a cached inner bound,
+// CacheSource names the seed query instead.
+//
+// Tier classifies the contract the answer was produced under; for
+// TierAnytime answers Accuracy carries the enforced accuracy contract
+// (Lemma 5.10 ρ bound for the samples actually consumed), nil otherwise.
 type Result struct {
 	Region      *Region
 	Stats       Stats
@@ -211,7 +217,61 @@ type Result struct {
 	Degraded    *Degradation
 	Cache       CacheStatus
 	CacheSource *Query
+	Tier        SolverTier
+	Accuracy    *Accuracy
 }
+
+// SolverTier classifies the serving contract of a Result.
+type SolverTier int
+
+const (
+	// TierExact: the region equals the true answer (exact solvers, exact
+	// cache hits, and bound-served exact artifacts — for those, Cache
+	// records that the region bounds a different query's answer).
+	TierExact SolverTier = iota
+	// TierApprox: the region is A-PC's one-sided approximation — a sound
+	// inner region with no per-run accuracy report (WithAlgorithm(APCAlgo)
+	// or an A-PC fallback answer).
+	TierApprox
+	// TierAnytime: the region is a cut of the anytime A-PC construction
+	// (WithAnytime / WithAnytimeSamples, or a server-side degrade); a sound
+	// inner region with Result.Accuracy reporting the Lemma 5.10 bound for
+	// the work actually done.
+	TierAnytime
+)
+
+func (t SolverTier) String() string {
+	switch t {
+	case TierExact:
+		return "exact"
+	case TierApprox:
+		return "approx"
+	case TierAnytime:
+		return "anytime"
+	default:
+		return fmt.Sprintf("SolverTier(%d)", int(t))
+	}
+}
+
+// ParseSolverTier maps a tier's String form back to the value.
+func ParseSolverTier(s string) (SolverTier, error) {
+	switch s {
+	case "exact":
+		return TierExact, nil
+	case "approx":
+		return TierApprox, nil
+	case "anytime":
+		return TierAnytime, nil
+	default:
+		return 0, fmt.Errorf("rrq: unknown solver tier %q", s)
+	}
+}
+
+// Accuracy is the enforced accuracy contract attached to a TierAnytime
+// Result: the samples the construction actually consumed, the Lemma 5.10
+// volume-ratio bound ρ they support at confidence 1−Delta, whether a budget
+// cut the run, and an independently seeded estimate of the region's volume.
+type Accuracy = core.Accuracy
 
 // CacheStatus reports the result cache's involvement in one solve.
 type CacheStatus int
@@ -305,6 +365,14 @@ type config struct {
 	cacheBounds  bool
 	noBatchShare bool
 	indexCompat  bool
+
+	anytimeBudget  time.Duration
+	anytimeSamples int
+}
+
+// anytimeActive reports whether any anytime knob selects the anytime tier.
+func (c *config) anytimeActive() bool {
+	return c.anytimeBudget > 0 || c.anytimeSamples > 0
 }
 
 // obsContext attaches the configured trace hook and metrics registry to ctx
@@ -467,6 +535,35 @@ func WithBatchSharing(on bool) Option { return func(c *config) { c.noBatchShare 
 // goroutines; expose it with Registry.Text or via expvar. A nil reg
 // disables metrics.
 func WithMetrics(reg *Registry) Option { return func(c *config) { c.metrics = reg } }
+
+// WithAnytime selects the anytime serving tier with a wall-clock budget:
+// the solve runs the resumable progressive A-PC construction and cuts at
+// the first partition boundary past the deadline, returning whatever
+// sound inner region has accumulated by then (possibly empty) with
+// Result.Accuracy reporting the Lemma 5.10 ρ bound for the samples
+// actually consumed. Cuts happen only at partition boundaries, so for a
+// fixed seed the region is monotone in the budget: a longer budget's
+// region contains a shorter one's.
+//
+// The anytime tier replaces the configured algorithm and fallback chain
+// and bypasses tree-serving and batch sharing. The result cache still
+// participates: anytime answers are stored as inner-bound entries, and a
+// cached inner bound on the same query point seeds the construction
+// (warm start), so repeated anytime queries ratchet toward the full
+// answer. budget ≤ 0 disables the tier.
+func WithAnytime(budget time.Duration) Option {
+	return func(c *config) { c.anytimeBudget = budget }
+}
+
+// WithAnytimeSamples selects the anytime tier with a deterministic work
+// budget: the construction cuts after consuming n utility samples instead
+// of at a wall-clock deadline, making anytime runs reproducible
+// (benchmarks, differential tests). Combine with WithAnytime to also
+// bound wall-clock time — whichever budget exhausts first cuts the run.
+// n ≤ 0 disables the sample budget.
+func WithAnytimeSamples(n int) Option {
+	return func(c *config) { c.anytimeSamples = n }
+}
 
 // resolvedAlgo maps Auto to the concrete solver choice for the dimension —
 // the name the result cache keys serving paths by.
@@ -653,7 +750,7 @@ func (r *Region) Measure(samples int) float64 {
 // estimate, making differential and replayed runs comparable; Measure is
 // MeasureWithSeed(1, samples).
 func (r *Region) MeasureWithSeed(seed int64, samples int) float64 {
-	return r.inner.Measure(rand.New(rand.NewSource(seed)), samples)
+	return r.inner.MeasureWithSeed(seed, samples)
 }
 
 // Sample returns one qualified utility vector, or nil when the region is
